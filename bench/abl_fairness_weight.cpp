@@ -1,0 +1,47 @@
+// Ablation — weight of the fairness term. The paper uses equal weights
+// "for simplicity" (§III-D); this sweep scales the fairness degree cost
+// f_i by w_f and measures the effect. Finding (also derived analytically
+// in docs/ALGORITHM.md §2): with contention costs in the tens and f_i
+// bounded by capacity ratios, the facility-cost term only delays payments
+// — the load-dependent (1 + S(k)) contention inflation does most of the
+// fairness work, so placements are remarkably insensitive to w_f until it
+// reaches the contention scale.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace faircache;
+
+int main() {
+  std::cout << "Ablation — fairness weight w_f on f_i (6x6 grid, Q = 5, "
+               "capacity = 5)\n\n";
+
+  const graph::Graph g = graph::make_grid(6, 6);
+  const auto problem = bench::grid_problem(g, /*producer=*/9, 5, 5);
+
+  util::Table table({"w_f", "total", "nodes_used", "gini", "p75",
+                     "max_load"});
+  table.set_precision(3);
+
+  for (const double w : {0.0, 0.5, 1.0, 10.0, 100.0, 1000.0}) {
+    metrics::FairnessModel::Config fc;
+    fc.storage_weight = w;
+    core::ApproxConfig config;
+    config.instance.fairness = metrics::FairnessModel(fc);
+    core::ApproxFairCaching appx(config);
+    const auto s = bench::run_and_evaluate(appx, problem);
+    const auto counts = s.result.state.stored_counts();
+    int max_load = 0;
+    for (int c : counts) max_load = std::max(max_load, c);
+    table.add_row() << w << s.total << s.nodes_used << s.gini << s.p75
+                    << max_load;
+  }
+  table.print(std::cout);
+  std::cout << "\nEven w_f = 0 stays fair on this workload: the 1 + S(k) "
+               "contention inflation already\nsteers consecutive chunks "
+               "apart. f_i matters at the margins (max load, ties) and for "
+               "full/\nbattery-exhausted nodes, which it prices at "
+               "infinity.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension — proactive fair placement vs reactive popularity caching
+// (the WAVE/MPC-style family from the paper's related work). A Zipf
+// request trace is replayed against (a) the reactive on-path popularity
+// cache (threshold sweep) and (b) the Appx placement computed up front
+// from the demand matrix; both end states are scored with the
+// demand-weighted evaluator plus fairness metrics.
+
+#include <iostream>
+
+#include "baselines/popularity.h"
+#include "bench_common.h"
+#include "sim/workload.h"
+
+using namespace faircache;
+
+int main() {
+  std::cout << "Extension — reactive popularity caching vs proactive fair "
+               "placement\n(8x8 grid, Q = 8, capacity = 3, 2000-request "
+               "Zipf(0.8) trace)\n\n";
+
+  const graph::Graph g = graph::make_grid(8, 8);
+  core::FairCachingProblem problem = bench::grid_problem(g, 9, 8, 3);
+
+  util::Rng rng(7);
+  sim::DemandConfig dc;
+  dc.num_nodes = g.num_nodes();
+  dc.num_chunks = problem.num_chunks;
+  dc.zipf_exponent = 0.8;
+  const sim::DemandMatrix demand = sim::generate_zipf_demand(dc, rng);
+  const auto trace = sim::sample_trace(demand, 2000, rng);
+
+  metrics::EvaluatorOptions eval_options;
+  eval_options.num_chunks = problem.num_chunks;
+  eval_options.access_demand = &demand;
+
+  util::Table table({"policy", "hit_ratio", "weighted_access", "gini",
+                     "nodes_caching", "total_copies"});
+  table.set_precision(3);
+
+  for (const int threshold : {1, 3, 8}) {
+    baselines::PopularityCaching popularity(problem,
+                                            {.request_threshold = threshold});
+    popularity.replay(trace);
+    const auto eval =
+        metrics::evaluate_placement(g, popularity.state(), eval_options);
+    const auto counts = popularity.state().stored_counts();
+    int caching = 0;
+    for (int c : counts) caching += c > 0 ? 1 : 0;
+    table.add_row() << ("popularity(T=" + std::to_string(threshold) + ")")
+                    << popularity.hit_ratio() << eval.access_cost
+                    << metrics::gini_coefficient(counts) << caching
+                    << popularity.state().total_stored();
+  }
+
+  {
+    core::ApproxConfig config;
+    config.instance.demand = &demand;
+    core::ApproxFairCaching appx(config);
+    const auto result = appx.run(problem);
+    const auto eval =
+        metrics::evaluate_placement(g, result.state, eval_options);
+    const auto counts = result.state.stored_counts();
+    int caching = 0;
+    for (int c : counts) caching += c > 0 ? 1 : 0;
+    table.add_row() << "Appx (demand-aware)" << "-" << eval.access_cost
+                    << metrics::gini_coefficient(counts) << caching
+                    << result.state.total_stored();
+  }
+  table.print(std::cout);
+  std::cout << "\nReactive caching needs warm-up traffic and fills every "
+               "cache to capacity (3x the copies);\nproactive fair "
+               "placement reaches lower weighted access cost at a third "
+               "of the storage burden.\n";
+  return 0;
+}

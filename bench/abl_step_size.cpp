@@ -1,0 +1,45 @@
+// Ablation — dual-growth step sizes (paper §IV-B: "If the unit step is
+// large, it might quickly finish but may select fewer nodes ... if the
+// unit is small, it might take a long time"). Sweeps U_α (= U_β) and the
+// U_γ/U_α ratio on the 6×6 grid and reports solution quality, fairness and
+// growth rounds.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace faircache;
+
+int main() {
+  std::cout << "Ablation — primal–dual step sizes (6x6 grid, Q = 5, "
+               "capacity = 5)\n\n";
+
+  const graph::Graph g = graph::make_grid(6, 6);
+  const auto problem = bench::grid_problem(g, /*producer=*/9, 5, 5);
+
+  util::Table table({"U_alpha", "U_gamma", "total", "nodes_used", "gini",
+                     "rounds_per_chunk"});
+  table.set_precision(3);
+
+  for (const double alpha : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    for (const double gamma_ratio : {1.0, 4.0}) {
+      core::ApproxConfig config;
+      config.confl.alpha_step = alpha;
+      config.confl.beta_step = alpha;
+      config.confl.gamma_step = alpha * gamma_ratio;
+      core::ApproxFairCaching appx(config);
+      const auto s = bench::run_and_evaluate(appx, problem);
+      long rounds = 0;
+      for (const auto& p : s.result.placements) rounds += p.solver_rounds;
+      table.add_row() << alpha << alpha * gamma_ratio << s.total
+                      << s.nodes_used << s.gini
+                      << static_cast<double>(rounds) /
+                             static_cast<double>(problem.num_chunks);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nSmaller steps cost more rounds for (at best) marginal "
+               "quality gains; larger U_gamma opens more facilities, "
+               "trading dissemination cost for fairness.\n";
+  return 0;
+}

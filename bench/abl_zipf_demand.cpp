@@ -1,0 +1,63 @@
+// Extension — Zipf-skewed demand instead of "every node wants every
+// chunk". Placement algorithms get the demand matrix (demand-aware) or not
+// (demand-oblivious); both are scored under the demand-weighted evaluator.
+// Demand-aware placement should cut weighted access cost, most visibly for
+// skewed (high-exponent) workloads.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/workload.h"
+
+using namespace faircache;
+
+int main() {
+  std::cout << "Extension — demand-aware placement under Zipf workloads "
+               "(8x8 grid, Q = 8, capacity = 3)\n\n";
+
+  const graph::Graph g = graph::make_grid(8, 8);
+  core::FairCachingProblem problem = bench::grid_problem(g, 9, 8, 3);
+
+  util::Table table({"zipf_s", "placement", "weighted_access", "dissem",
+                     "weighted_total"});
+  table.set_precision(1);
+
+  for (const double s : {0.0, 0.8, 1.5}) {
+    util::Rng rng(42);
+    sim::DemandConfig dc;
+    dc.num_nodes = g.num_nodes();
+    dc.num_chunks = problem.num_chunks;
+    dc.zipf_exponent = s;
+    dc.per_node_ranking = true;  // different nodes want different chunks
+    const sim::DemandMatrix demand = sim::generate_zipf_demand(dc, rng);
+
+    metrics::EvaluatorOptions eval_options;
+    eval_options.num_chunks = problem.num_chunks;
+    eval_options.access_demand = &demand;
+
+    // Demand-oblivious Appx.
+    {
+      core::ApproxFairCaching appx;
+      const auto result = appx.run(problem);
+      const auto eval = metrics::evaluate_placement(g, result.state,
+                                                    eval_options);
+      table.add_row() << s << "oblivious" << eval.access_cost
+                      << eval.dissemination_cost << eval.total();
+    }
+    // Demand-aware Appx.
+    {
+      core::ApproxConfig config;
+      config.instance.demand = &demand;
+      core::ApproxFairCaching appx(config);
+      const auto result = appx.run(problem);
+      const auto eval = metrics::evaluate_placement(g, result.state,
+                                                    eval_options);
+      table.add_row() << s << "demand-aware" << eval.access_cost
+                      << eval.dissemination_cost << eval.total();
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nAt s = 0 the workload is uniform and the two placements "
+               "coincide in value; skew rewards demand awareness.\n";
+  return 0;
+}

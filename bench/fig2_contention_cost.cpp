@@ -1,0 +1,107 @@
+// Fig. 2 — total contention cost (access + dissemination) on grid
+// networks: small grids compared against the brute-force optimum, larger
+// grids (100–256 nodes) where brute force is infeasible.
+//
+// Paper claims reproduced here: the approximation algorithm preserves its
+// ratio vs. Brtf (observed max 5.6 in the paper); Appx/Dist land close to
+// Cont while Hopc is clearly worse; the ordering persists at scale.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "exact/local_search.h"
+
+using namespace faircache;
+
+int main() {
+  std::cout << "Fig. 2 — total contention cost on grid networks "
+               "(Q = 5, capacity = 5)\n\n";
+
+  // (a) Small networks with the brute-force reference. The MILP closes
+  // 3×3 instances outright; on 4×4/5×5 it runs under a budget and reports
+  // the best placement found (Brtf*), with LocalOpt shown alongside.
+  {
+    util::Table table({"grid", "algo", "access", "dissem", "total",
+                       "confl_obj_c0", "confl_ratio_c0"});
+    table.set_precision(2);
+    for (const int side : {3, 4}) {
+      const graph::Graph g = graph::make_grid(side, side);
+      const graph::NodeId producer = side == 3 ? 4 : 9;
+      const auto problem = bench::grid_problem(g, producer, 5, 5);
+
+      auto brtf = bench::make_brtf(side == 3 ? 60.0 : 8.0);
+      const auto brtf_summary = bench::run_and_evaluate(*brtf, problem);
+      const std::string grid_name =
+          std::to_string(side) + "x" + std::to_string(side);
+
+      // The 6.55-ratio claim is about the per-chunk ConFL objective of
+      // transform (8). Only chunk 0 sees the *same* instance under every
+      // algorithm (later chunks' costs depend on each algorithm's own
+      // earlier placements), so the ratio is reported for chunk 0.
+      auto confl_objective = [](const bench::RunSummary& s) {
+        return s.result.placements.empty()
+                   ? 0.0
+                   : s.result.placements.front().solver_objective;
+      };
+      const double brtf_obj = confl_objective(brtf_summary);
+      table.add_row() << grid_name
+                      << (brtf->all_proven_optimal() ? "Brtf" : "Brtf*")
+                      << brtf_summary.access << brtf_summary.dissemination
+                      << brtf_summary.total << brtf_obj << 1.0;
+
+      exact::LocalSearchCaching local;
+      const auto local_summary = bench::run_and_evaluate(local, problem);
+      table.add_row() << grid_name << local_summary.algorithm
+                      << local_summary.access << local_summary.dissemination
+                      << local_summary.total << confl_objective(local_summary)
+                      << confl_objective(local_summary) / brtf_obj;
+
+      for (const auto& algo : bench::paper_algorithms()) {
+        const auto s = bench::run_and_evaluate(*algo, problem);
+        const double obj = confl_objective(s);
+        auto row = table.add_row();
+        row << grid_name << s.algorithm << s.access << s.dissemination
+            << s.total;
+        if (obj > 0.0) {  // baselines carry no ConFL objective
+          row << obj << obj / brtf_obj;
+        } else {
+          row << "-" << "-";
+        }
+      }
+    }
+    std::cout << "(a) small grids (Brtf* = best found within MILP "
+                 "budget)\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // (b) Large networks, brute force infeasible (paper: 100–255 nodes).
+  {
+    util::Table table({"grid", "nodes", "algo", "access", "dissem", "total",
+                       "vs_cont"});
+    table.set_precision(2);
+    for (const int side : {10, 12, 14, 16}) {
+      const graph::Graph g = graph::make_grid(side, side);
+      const auto problem = bench::grid_problem(g, /*producer=*/9, 5, 5);
+
+      std::vector<bench::RunSummary> summaries;
+      for (const auto& algo : bench::paper_algorithms()) {
+        summaries.push_back(bench::run_and_evaluate(*algo, problem));
+      }
+      double cont_total = 1.0;
+      for (const auto& s : summaries) {
+        if (s.algorithm == "Cont") cont_total = s.total;
+      }
+      for (const auto& s : summaries) {
+        table.add_row() << (std::to_string(side) + "x" +
+                            std::to_string(side))
+                        << g.num_nodes() << s.algorithm << s.access
+                        << s.dissemination << s.total
+                        << s.total / cont_total;
+      }
+    }
+    std::cout << "(b) large grids\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 7 — Gini coefficient of per-node cached-chunk counts vs. network
+// size, on (a) grid networks and (b) random networks. Paper claims: our
+// algorithms stay below ~0.4 and *decrease* with network size (more nodes
+// to spread over), while the baselines stay high or increase.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace faircache;
+
+int main() {
+  std::cout << "Fig. 7 — Gini coefficient of cached-chunk distribution "
+               "(Q = 5, capacity = 5)\n\n";
+
+  {
+    util::Table table({"grid", "Appx", "Dist", "Hopc", "Cont"});
+    table.set_precision(3);
+    for (const int side : {6, 8, 10, 12}) {
+      const graph::Graph g = graph::make_grid(side, side);
+      const auto problem = bench::grid_problem(g, /*producer=*/9, 5, 5);
+      double gini[4] = {0, 0, 0, 0};
+      int idx = 0;
+      for (const auto& algo : bench::paper_algorithms()) {
+        gini[idx++] = bench::run_and_evaluate(*algo, problem).gini;
+      }
+      table.add_row() << (std::to_string(side) + "x" + std::to_string(side))
+                      << gini[0] << gini[1] << gini[2] << gini[3];
+    }
+    std::cout << "(a) grid networks\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    util::Table table({"nodes", "Appx", "Dist", "Hopc", "Cont"});
+    table.set_precision(3);
+    for (const int n : {20, 60, 100, 140}) {
+      double gini[4] = {0, 0, 0, 0};
+      constexpr int kSeeds = 3;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        util::Rng rng(777u * static_cast<unsigned>(n) +
+                      static_cast<unsigned>(seed));
+        const auto net = bench::random_network(n, rng);
+        const auto problem = bench::grid_problem(net.graph, 0, 5, 5);
+        int idx = 0;
+        for (const auto& algo : bench::paper_algorithms()) {
+          gini[idx++] +=
+              bench::run_and_evaluate(*algo, problem).gini / kSeeds;
+        }
+      }
+      table.add_row() << n << gini[0] << gini[1] << gini[2] << gini[3];
+    }
+    std::cout << "(b) random networks (3 seeds)\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Vehicular edge caching — heterogeneous devices: parked cars with big
+// storage and wall power, phones with small caches and tight batteries.
+// Demonstrates per-node capacities plus the battery fairness extension
+// (paper footnote 1: a weighted storage + battery fairness cost).
+//
+// Build & run:  ./build/examples/vehicular_edge
+
+#include <iostream>
+
+#include "core/approx.h"
+#include "graph/generators.h"
+#include "metrics/fairness_stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace faircache;
+
+  // A road-side strip: 4×8 grid of devices. Row 0 models parked vehicles
+  // (plenty of storage/power); rows 1–3 are pedestrians' phones.
+  const int rows = 4;
+  const int cols = 8;
+  const graph::Graph network = graph::make_grid(rows, cols);
+
+  core::FairCachingProblem problem;
+  problem.network = &network;
+  problem.producer = 3;  // a road-side camera on the vehicle row
+  problem.num_chunks = 8;
+  problem.capacities.assign(static_cast<std::size_t>(rows * cols), 2);
+  for (int c = 0; c < cols; ++c) {
+    problem.capacities[static_cast<std::size_t>(c)] = 10;  // vehicles
+  }
+
+  // Battery budgets: vehicles effectively unconstrained; the sweep
+  // tightens the phones' budgets. Caching one chunk costs one battery
+  // unit over its lifetime, so a budget of b lets a phone cache at most
+  // ⌈b⌉−1 chunks before its battery fairness cost diverges (Eq. 1's
+  // shape applied to energy — the paper's footnote 1).
+  auto run_with_phone_budget = [&](double phone_budget) {
+    std::vector<double> battery(static_cast<std::size_t>(rows * cols),
+                                phone_budget);
+    for (int c = 0; c < cols; ++c) {
+      battery[static_cast<std::size_t>(c)] = 1e6;  // vehicles: wall power
+    }
+    metrics::FairnessModel::Config fc;
+    fc.storage_weight = 1.0;
+    fc.battery_weight = 1.0;
+    metrics::FairnessModel model(fc);
+    model.set_battery_budgets(battery);
+
+    core::ApproxConfig config;
+    config.instance.fairness = model;
+    core::ApproxFairCaching appx(config);
+    return appx.run(problem);
+  };
+
+  util::Table table({"phone_battery_budget", "chunks_on_vehicles",
+                     "chunks_on_phones", "contention", "gini"});
+  table.set_precision(3);
+
+  for (const double budget : {1e6, 3.0, 1.0}) {
+    const auto result = run_with_phone_budget(budget);
+    const auto eval = result.evaluate(problem);
+    int on_vehicles = 0;
+    int on_phones = 0;
+    for (graph::NodeId v = 0; v < network.num_nodes(); ++v) {
+      (v < cols ? on_vehicles : on_phones) += result.state.used(v);
+    }
+    table.add_row() << budget << on_vehicles << on_phones << eval.total()
+                    << metrics::gini_coefficient(
+                           result.state.stored_counts());
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTighter phone battery budgets cap the phones' caching "
+               "burden (fewer chunks on phones,\nlower Gini) while total "
+               "contention barely moves — the vehicle row and the\n"
+               "producer absorb the remaining demand.\n";
+  return 0;
+}

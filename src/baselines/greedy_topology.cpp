@@ -1,0 +1,220 @@
+#include "baselines/greedy_topology.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/shortest_paths.h"
+#include "metrics/cache_state.h"
+#include "steiner/steiner.h"
+#include "util/stopwatch.h"
+
+namespace faircache::baselines {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+// Distance matrix + tree edge weights for the configured metric, computed
+// on an *empty* cache state — these baselines never look at cached data.
+struct MetricCosts {
+  std::vector<std::vector<double>> dist;  // dist[i][j]
+  std::vector<double> edge_weight;
+};
+
+MetricCosts metric_costs(const Graph& g, const BaselineConfig& config) {
+  MetricCosts costs;
+  if (config.metric == BaselineMetric::kHopCount) {
+    const auto hops = graph::all_pairs_hops(g);
+    costs.dist.assign(static_cast<std::size_t>(g.num_nodes()),
+                      std::vector<double>(
+                          static_cast<std::size_t>(g.num_nodes()), 0.0));
+    for (NodeId i = 0; i < g.num_nodes(); ++i) {
+      for (NodeId j = 0; j < g.num_nodes(); ++j) {
+        const int h = hops[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)];
+        costs.dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            h == graph::kUnreachable ? graph::kInfCost
+                                     : static_cast<double>(h);
+      }
+    }
+    costs.edge_weight.assign(static_cast<std::size_t>(g.num_edges()), 1.0);
+  } else {
+    // Contention with an empty cache (S ≡ 0): the Sung et al. model.
+    metrics::CacheState empty(g.num_nodes(), 1, /*producer=*/0);
+    const metrics::ContentionMatrix contention(g, empty);
+    costs.dist = contention.matrix();
+    costs.edge_weight = contention.edge_costs();
+  }
+  return costs;
+}
+
+double placement_cost(const Graph& g, NodeId producer,
+                      const std::vector<NodeId>& open,
+                      const MetricCosts& costs, double lambda) {
+  double access = 0.0;
+  for (NodeId j = 0; j < g.num_nodes(); ++j) {
+    double best = costs.dist[static_cast<std::size_t>(producer)]
+                            [static_cast<std::size_t>(j)];
+    for (NodeId i : open) {
+      best = std::min(best, costs.dist[static_cast<std::size_t>(i)]
+                                      [static_cast<std::size_t>(j)]);
+    }
+    access += best;
+  }
+  double tree = 0.0;
+  if (!open.empty()) {
+    std::vector<NodeId> terminals = open;
+    terminals.push_back(producer);
+    tree = steiner::steiner_mst_approx(g, costs.edge_weight, terminals).cost;
+  }
+  return access + lambda * tree;
+}
+
+}  // namespace
+
+std::vector<NodeId> select_cache_set(const Graph& g, NodeId producer,
+                                     const BaselineConfig& config) {
+  FAIRCACHE_CHECK(g.contains(producer), "producer out of range");
+  const MetricCosts costs = metric_costs(g, config);
+  const double load = config.dissemination_load_factor > 0
+                          ? config.dissemination_load_factor
+                          : 1.0;
+  const double tree_weight = config.lambda * load;
+
+  std::vector<NodeId> open;
+  double current = placement_cost(g, producer, open, costs, tree_weight);
+
+  std::vector<char> is_open(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (;;) {
+    NodeId best_node = graph::kInvalidNode;
+    double best_cost = current - 1e-9;  // must strictly improve
+    for (NodeId i = 0; i < g.num_nodes(); ++i) {
+      if (i == producer || is_open[static_cast<std::size_t>(i)]) continue;
+      std::vector<NodeId> candidate = open;
+      candidate.push_back(i);
+      const double cost =
+          placement_cost(g, producer, candidate, costs, tree_weight);
+      if (cost < best_cost) {  // ties resolve to the smaller id (scan order)
+        best_cost = cost;
+        best_node = i;
+      }
+    }
+    if (best_node == graph::kInvalidNode) break;
+    open.push_back(best_node);
+    is_open[static_cast<std::size_t>(best_node)] = 1;
+    current = best_cost;
+  }
+  std::sort(open.begin(), open.end());
+  return open;
+}
+
+core::FairCachingResult GreedyTopologyCaching::run(
+    const core::FairCachingProblem& problem) {
+  FAIRCACHE_CHECK(problem.network != nullptr, "problem needs a network");
+  util::Stopwatch clock;
+
+  core::FairCachingResult result;
+  result.algorithm = name();
+  result.state = problem.make_initial_state();
+  result.placements.resize(static_cast<std::size_t>(problem.num_chunks));
+  for (metrics::ChunkId chunk = 0; chunk < problem.num_chunks; ++chunk) {
+    result.placements[static_cast<std::size_t>(chunk)].chunk = chunk;
+  }
+
+  // Auto load factor: a chosen node ends up holding ~capacity chunks, so
+  // dissemination traffic through it contends with 1 + capacity chunk
+  // streams (Eq. 2's 1 + S(k) at the final state).
+  BaselineConfig round_config = config_;
+  if (round_config.dissemination_load_factor <= 0) {
+    double avg_capacity = 0.0;
+    for (NodeId v = 0; v < problem.network->num_nodes(); ++v) {
+      avg_capacity += static_cast<double>(result.state.capacity(v));
+    }
+    avg_capacity /= static_cast<double>(problem.network->num_nodes());
+    round_config.dissemination_load_factor = 1.0 + avg_capacity;
+  }
+
+  // Round structure: select a set on the current subgraph, fill it to
+  // capacity with the next chunks, then recurse on untouched nodes.
+  std::vector<char> consumed(
+      static_cast<std::size_t>(problem.network->num_nodes()), 0);
+  metrics::ChunkId next_chunk = 0;
+
+  while (next_chunk < problem.num_chunks) {
+    // Nodes still available: never-chosen nodes plus the producer.
+    std::vector<NodeId> available;
+    for (NodeId v = 0; v < problem.network->num_nodes(); ++v) {
+      if (!consumed[static_cast<std::size_t>(v)] || v == problem.producer) {
+        available.push_back(v);
+      }
+    }
+    if (available.size() <= 1) break;  // nothing left but the producer
+
+    graph::Subgraph sub = graph::induced_subgraph(*problem.network,
+                                                  available);
+    // Restrict to the component containing the producer (the data source
+    // must be reachable; the paper falls back to the largest component —
+    // with the producer pinned this is the defensible variant).
+    const NodeId sub_producer =
+        sub.to_new[static_cast<std::size_t>(problem.producer)];
+    FAIRCACHE_CHECK(sub_producer != graph::kInvalidNode,
+                    "producer lost from subgraph");
+    const auto labels = sub.graph.component_labels();
+    const int producer_label =
+        labels[static_cast<std::size_t>(sub_producer)];
+    std::vector<NodeId> component;
+    for (NodeId v = 0; v < sub.graph.num_nodes(); ++v) {
+      if (labels[static_cast<std::size_t>(v)] == producer_label) {
+        component.push_back(v);
+      }
+    }
+    if (component.size() <= 1) break;
+
+    graph::Subgraph comp = graph::induced_subgraph(sub.graph, component);
+    const NodeId comp_producer =
+        comp.to_new[static_cast<std::size_t>(sub_producer)];
+    const std::vector<NodeId> chosen =
+        select_cache_set(comp.graph, comp_producer, round_config);
+    if (chosen.empty()) break;  // greedy sees no benefit; stop placing
+
+    // Map back to original ids.
+    std::vector<NodeId> chosen_original;
+    for (NodeId v : chosen) {
+      chosen_original.push_back(
+          sub.to_original[static_cast<std::size_t>(
+              comp.to_original[static_cast<std::size_t>(v)])]);
+    }
+
+    // Fill the set: this round covers as many chunks as the tightest
+    // member can hold.
+    int round_span = std::numeric_limits<int>::max();
+    for (NodeId v : chosen_original) {
+      round_span = std::min(round_span, result.state.remaining(v));
+    }
+    round_span = std::min(round_span, problem.num_chunks - next_chunk);
+    FAIRCACHE_CHECK(round_span >= 0, "negative round span");
+    if (round_span == 0) break;  // zero-capacity member: cannot progress
+
+    for (metrics::ChunkId chunk = next_chunk;
+         chunk < next_chunk + round_span; ++chunk) {
+      auto& placement = result.placements[static_cast<std::size_t>(chunk)];
+      for (NodeId v : chosen_original) {
+        if (result.state.can_cache(v, chunk)) {
+          result.state.add(v, chunk);
+          placement.cache_nodes.push_back(v);
+        }
+      }
+      std::sort(placement.cache_nodes.begin(), placement.cache_nodes.end());
+    }
+    for (NodeId v : chosen_original) {
+      consumed[static_cast<std::size_t>(v)] = 1;
+    }
+    next_chunk += round_span;
+  }
+
+  result.runtime_seconds = clock.elapsed_seconds();
+  return result;
+}
+
+}  // namespace faircache::baselines

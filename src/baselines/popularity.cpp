@@ -1,0 +1,83 @@
+#include "baselines/popularity.h"
+
+#include <algorithm>
+
+#include "graph/shortest_paths.h"
+
+namespace faircache::baselines {
+
+using graph::NodeId;
+
+PopularityCaching::PopularityCaching(const core::FairCachingProblem& problem,
+                                     PopularityConfig config)
+    : problem_(problem),
+      config_(config),
+      state_(problem.make_initial_state()),
+      seen_(static_cast<std::size_t>(problem.network->num_nodes())) {
+  FAIRCACHE_CHECK(config_.request_threshold >= 1,
+                  "threshold must be at least 1");
+  for (auto& counters : seen_) {
+    counters.assign(static_cast<std::size_t>(
+                        std::max(problem.num_chunks, 1)),
+                    0);
+  }
+}
+
+RequestOutcome PopularityCaching::process(const sim::Request& request) {
+  const graph::Graph& g = *problem_.network;
+  FAIRCACHE_CHECK(g.contains(request.node), "requester out of range");
+  ++requests_;
+
+  // Grow counters lazily for chunk ids beyond the declared workload.
+  for (auto& counters : seen_) {
+    if (static_cast<std::size_t>(request.chunk) >= counters.size()) {
+      counters.resize(static_cast<std::size_t>(request.chunk) + 1, 0);
+    }
+  }
+
+  // Route to the hop-nearest copy (producer always has one).
+  std::vector<NodeId> sources = state_.holders(request.chunk);
+  sources.push_back(problem_.producer);
+  std::sort(sources.begin(), sources.end());
+
+  const graph::BfsTree tree = graph::bfs(g, request.node);
+  NodeId best = problem_.producer;
+  int best_hops = graph::kUnreachable;
+  for (NodeId s : sources) {
+    const int h = tree.hops[static_cast<std::size_t>(s)];
+    if (h < best_hops) {
+      best_hops = h;
+      best = s;
+    }
+  }
+  FAIRCACHE_CHECK(best_hops != graph::kUnreachable,
+                  "no reachable copy for request");
+
+  RequestOutcome outcome;
+  outcome.served_by = best;
+  outcome.hops = best_hops;
+  outcome.cache_hit = best != problem_.producer;
+  if (outcome.cache_hit) ++hits_;
+
+  // The data flows back along the path; every node on it observes the
+  // chunk and may cache it once popular enough.
+  const std::vector<NodeId> path = graph::extract_path(tree, best);
+  for (NodeId v : path) {
+    auto& count =
+        seen_[static_cast<std::size_t>(v)][static_cast<std::size_t>(
+            request.chunk)];
+    ++count;
+    if (count >= config_.request_threshold &&
+        state_.can_cache(v, request.chunk)) {
+      state_.add(v, request.chunk);
+      outcome.newly_cached_at.push_back(v);
+    }
+  }
+  return outcome;
+}
+
+void PopularityCaching::replay(const std::vector<sim::Request>& trace) {
+  for (const sim::Request& request : trace) process(request);
+}
+
+}  // namespace faircache::baselines

@@ -1,0 +1,362 @@
+#include "confl/confl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/shortest_paths.h"
+
+namespace faircache::confl {
+
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+namespace {
+
+void validate(const ConflInstance& instance) {
+  FAIRCACHE_CHECK(instance.network != nullptr, "instance needs a network");
+  const int n = instance.network->num_nodes();
+  FAIRCACHE_CHECK(instance.root >= 0 && instance.root < n,
+                  "root out of range");
+  FAIRCACHE_CHECK(static_cast<int>(instance.facility_cost.size()) == n,
+                  "facility cost size mismatch");
+  FAIRCACHE_CHECK(static_cast<int>(instance.assign_cost.size()) == n,
+                  "assignment cost rows mismatch");
+  for (const auto& row : instance.assign_cost) {
+    FAIRCACHE_CHECK(static_cast<int>(row.size()) == n,
+                    "assignment cost columns mismatch");
+  }
+  FAIRCACHE_CHECK(static_cast<int>(instance.edge_cost.size()) ==
+                      instance.network->num_edges(),
+                  "edge cost size mismatch");
+  FAIRCACHE_CHECK(instance.edge_scale > 0, "edge scale must be positive");
+  if (!instance.client_weight.empty()) {
+    FAIRCACHE_CHECK(static_cast<int>(instance.client_weight.size()) == n,
+                    "client weight size mismatch");
+    for (double w : instance.client_weight) {
+      FAIRCACHE_CHECK(w >= 0, "client weights must be non-negative");
+    }
+  }
+}
+
+}  // namespace
+
+ConflSolution solve_confl(const ConflInstance& instance,
+                          const ConflOptions& options) {
+  validate(instance);
+  FAIRCACHE_CHECK(options.alpha_step > 0 && options.beta_step > 0 &&
+                      options.gamma_step > 0,
+                  "step sizes must be positive");
+  FAIRCACHE_CHECK(options.span_threshold >= 1, "span threshold must be ≥ 1");
+
+  const int n = instance.network->num_nodes();
+  const NodeId root = instance.root;
+  const auto& c = instance.assign_cost;
+  auto cost = [&](NodeId i, NodeId j) {
+    return c[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  };
+  auto weight = [&](NodeId j) {
+    return instance.client_weight.empty()
+               ? 1.0
+               : instance.client_weight[static_cast<std::size_t>(j)];
+  };
+
+  // Client state. The root is not a client (it holds everything already).
+  std::vector<char> frozen(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> connect_to(static_cast<std::size_t>(n), kInvalidNode);
+  frozen[static_cast<std::size_t>(root)] = 1;
+  connect_to[static_cast<std::size_t>(root)] = root;
+
+  // Facility state.
+  std::vector<char> open(static_cast<std::size_t>(n), 0);
+  open[static_cast<std::size_t>(root)] = 1;  // producer pre-opened
+  std::vector<double> paid(static_cast<std::size_t>(n), 0.0);
+
+  // Dual variables. α per client; β/γ per (facility, client).
+  std::vector<double> alpha(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::vector<double>> beta(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  std::vector<std::vector<double>> gamma = beta;
+
+  auto openable = [&](NodeId i) {
+    return !open[static_cast<std::size_t>(i)] &&
+           instance.facility_cost[static_cast<std::size_t>(i)] != kInfCost;
+  };
+
+  // Derive the round budget. Fixed step: α only needs to reach the cost of
+  // connecting straight to the root, after which every client freezes.
+  // Event-driven: every round consumes a discrete event (a pair becoming
+  // tight, a payment completing, an opening, a freeze), of which there are
+  // O(N²).
+  int max_rounds = options.max_rounds;
+  if (max_rounds == 0) {
+    if (options.growth == GrowthMode::kEventDriven) {
+      max_rounds = 2 * n * n + 4 * n + 16;
+    } else {
+      double worst = 0.0;
+      for (NodeId j = 0; j < n; ++j) {
+        const double to_root = cost(root, j);
+        if (to_root != kInfCost) worst = std::max(worst, to_root);
+      }
+      max_rounds =
+          static_cast<int>(std::ceil(worst / options.alpha_step)) + 2;
+    }
+  }
+
+  // Dual growth rates per unit of α-time.
+  const double beta_rate = options.beta_step / options.alpha_step;
+  const double gamma_rate = options.gamma_step / options.alpha_step;
+
+  // Smallest time advance to the next event (event-driven mode). Returns 0
+  // when an event is already due (process without growing).
+  auto next_event_delta = [&]() {
+    double delta = kInfCost;
+    for (NodeId j = 0; j < n; ++j) {
+      if (frozen[static_cast<std::size_t>(j)]) continue;
+      const double aj = alpha[static_cast<std::size_t>(j)];
+      for (NodeId i = 0; i < n; ++i) {
+        if (!open[static_cast<std::size_t>(i)] && !openable(i)) continue;
+        const double cij = cost(i, j);
+        if (cij == kInfCost) continue;
+        if (cij > aj) delta = std::min(delta, cij - aj);  // tightness
+      }
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      if (!openable(i)) continue;
+      const double fi = instance.facility_cost[static_cast<std::size_t>(i)];
+      // Tight unfrozen clients of i.
+      std::vector<NodeId> tight;
+      for (NodeId j = 0; j < n; ++j) {
+        if (frozen[static_cast<std::size_t>(j)]) continue;
+        if (alpha[static_cast<std::size_t>(j)] + 1e-12 >= cost(i, j)) {
+          tight.push_back(j);
+        }
+      }
+      if (tight.empty()) continue;
+      if (paid[static_cast<std::size_t>(i)] + 1e-12 < fi) {
+        // Payment completion (rate = summed weights of tight clients).
+        double rate = 0.0;
+        for (NodeId j : tight) rate += weight(j);
+        if (rate > 0) {
+          delta = std::min(delta, (fi - paid[static_cast<std::size_t>(i)]) /
+                                      (rate * beta_rate));
+        }
+        continue;
+      }
+      // M-th SPAN.
+      int spans = 0;
+      std::vector<double> pending;
+      for (NodeId j : tight) {
+        const double gij =
+            gamma[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+        const double cij = cost(i, j);
+        if (gij + 1e-12 >= cij) {
+          ++spans;
+        } else if (weight(j) > 0) {
+          pending.push_back((cij - gij) / (weight(j) * gamma_rate));
+        }
+      }
+      const int needed = options.span_threshold - spans;
+      if (needed <= 0) {
+        delta = 0.0;  // opening already due
+      } else if (needed <= static_cast<int>(pending.size())) {
+        std::nth_element(pending.begin(),
+                         pending.begin() + (needed - 1), pending.end());
+        delta = std::min(delta,
+                         pending[static_cast<std::size_t>(needed - 1)]);
+      }
+    }
+    if (delta == kInfCost) delta = 0.0;  // nothing to wait for
+    return std::max(delta, 0.0);
+  };
+
+  ConflSolution solution;
+  solution.assignment.assign(static_cast<std::size_t>(n), kInvalidNode);
+  solution.assignment[static_cast<std::size_t>(root)] = root;
+
+  std::vector<NodeId> admins;
+
+  auto all_frozen = [&] {
+    return std::all_of(frozen.begin(), frozen.end(),
+                       [](char f) { return f != 0; });
+  };
+
+  // Freeze client j onto the cheapest open facility it is tight with.
+  auto try_freeze_on_open = [&](NodeId j) {
+    double best = kInfCost;
+    NodeId best_i = kInvalidNode;
+    for (NodeId i = 0; i < n; ++i) {
+      if (!open[static_cast<std::size_t>(i)]) continue;
+      const double cij = cost(i, j);
+      if (alpha[static_cast<std::size_t>(j)] + 1e-12 < cij) continue;
+      if (cij < best || (cij == best && i < best_i)) {
+        best = cij;
+        best_i = i;
+      }
+    }
+    if (best_i != kInvalidNode) {
+      frozen[static_cast<std::size_t>(j)] = 1;
+      connect_to[static_cast<std::size_t>(j)] = best_i;
+    }
+  };
+
+  int round = 0;
+  for (; round < max_rounds && !all_frozen(); ++round) {
+    // 1. Grow connection bids (paper line 18) — by the fixed unit, or
+    // exactly up to the next event.
+    const double delta = options.growth == GrowthMode::kEventDriven
+                             ? next_event_delta()
+                             : options.alpha_step;
+    if (delta > 0) {
+      for (NodeId j = 0; j < n; ++j) {
+        if (!frozen[static_cast<std::size_t>(j)]) {
+          alpha[static_cast<std::size_t>(j)] += delta;
+        }
+      }
+    }
+
+    // 2. Tight with an already-open facility → TIGHT request accepted,
+    // client freezes (paper lines 21–26).
+    for (NodeId j = 0; j < n; ++j) {
+      if (!frozen[static_cast<std::size_t>(j)]) try_freeze_on_open(j);
+    }
+
+    // 3. Payments and relay bids toward unopened facilities (lines 19–20):
+    // tight clients pay β until f_i is covered, then raise γ.
+    if (delta > 0) {
+      for (NodeId i = 0; i < n; ++i) {
+        if (!openable(i)) continue;
+        const double fi =
+            instance.facility_cost[static_cast<std::size_t>(i)];
+        for (NodeId j = 0; j < n; ++j) {
+          if (frozen[static_cast<std::size_t>(j)]) continue;
+          if (alpha[static_cast<std::size_t>(j)] + 1e-12 < cost(i, j)) {
+            continue;  // not tight yet
+          }
+          if (paid[static_cast<std::size_t>(i)] + 1e-12 < fi) {
+            const double pay =
+                std::min(weight(j) * beta_rate * delta,
+                         fi - paid[static_cast<std::size_t>(i)]);
+            beta[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+                pay;
+            paid[static_cast<std::size_t>(i)] += pay;
+          } else {
+            // Demand-weighted clients raise relay bids faster, pulling
+            // facilities toward demand hot-spots.
+            gamma[static_cast<std::size_t>(i)]
+                 [static_cast<std::size_t>(j)] +=
+                weight(j) * gamma_rate * delta;
+          }
+        }
+      }
+    }
+
+    // 4. Facilities with the facility cost covered and ≥ M SPAN requests
+    // become ADMIN (lines 27–44). SPANs from frozen clients are retracted
+    // (a FREEZE response stops their bidding), which prevents two adjacent
+    // facilities from opening for the same client set.
+    for (NodeId i = 0; i < n; ++i) {
+      if (!openable(i)) continue;
+      const double fi = instance.facility_cost[static_cast<std::size_t>(i)];
+      if (paid[static_cast<std::size_t>(i)] + 1e-12 < fi) continue;
+      int spans = 0;
+      for (NodeId j = 0; j < n; ++j) {
+        if (frozen[static_cast<std::size_t>(j)]) continue;
+        if (gamma[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +
+                1e-12 >=
+            cost(i, j)) {
+          ++spans;
+        }
+      }
+      if (spans < options.span_threshold) continue;
+
+      open[static_cast<std::size_t>(i)] = 1;
+      admins.push_back(i);
+      // Freeze every client tight with the new ADMIN, plus anyone who has
+      // contributed to it (β > 0) — they received a NADMIN response.
+      for (NodeId j = 0; j < n; ++j) {
+        if (frozen[static_cast<std::size_t>(j)]) continue;
+        const bool tight =
+            alpha[static_cast<std::size_t>(j)] + 1e-12 >= cost(i, j);
+        const bool contributed =
+            beta[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] >
+            0.0;
+        if (tight || contributed) {
+          frozen[static_cast<std::size_t>(j)] = 1;
+          connect_to[static_cast<std::size_t>(j)] = i;
+        }
+      }
+    }
+  }
+  solution.rounds = round;
+  FAIRCACHE_CHECK(all_frozen(),
+                  "dual growth did not converge within the round budget");
+
+  // ---- Phase 2: connect ADMINs to the root and re-assign clients. ----
+  std::sort(admins.begin(), admins.end());
+  solution.open_facilities = admins;
+
+  for (NodeId i : admins) {
+    solution.facility_cost +=
+        instance.facility_cost[static_cast<std::size_t>(i)];
+  }
+
+  if (!admins.empty()) {
+    std::vector<NodeId> terminals = admins;
+    terminals.push_back(root);
+    std::vector<double> scaled = instance.edge_cost;
+    for (double& w : scaled) w *= instance.edge_scale;
+    solution.tree =
+        steiner::steiner_mst_approx(*instance.network, scaled, terminals);
+    solution.tree_cost = solution.tree.cost;
+  }
+
+  // Final assignment: cheapest facility in A ∪ {root} (never worse than the
+  // dual-growth assignment).
+  for (NodeId j = 0; j < n; ++j) {
+    double best = cost(root, j);
+    NodeId best_i = root;
+    for (NodeId i : admins) {
+      const double cij = cost(i, j);
+      if (cij < best || (cij == best && i < best_i)) {
+        best = cij;
+        best_i = i;
+      }
+    }
+    solution.assignment[static_cast<std::size_t>(j)] = best_i;
+    solution.assignment_cost += weight(j) * best;
+  }
+
+  return solution;
+}
+
+double evaluate_confl_objective(const ConflInstance& instance,
+                                const std::vector<NodeId>& open,
+                                double scaled_tree_cost) {
+  validate(instance);
+  const int n = instance.network->num_nodes();
+  double total = scaled_tree_cost;
+  for (NodeId i : open) {
+    total += instance.facility_cost[static_cast<std::size_t>(i)];
+  }
+  for (NodeId j = 0; j < n; ++j) {
+    double best =
+        instance.assign_cost[static_cast<std::size_t>(instance.root)]
+                            [static_cast<std::size_t>(j)];
+    for (NodeId i : open) {
+      best = std::min(
+          best,
+          instance.assign_cost[static_cast<std::size_t>(i)]
+                              [static_cast<std::size_t>(j)]);
+    }
+    const double w = instance.client_weight.empty()
+                         ? 1.0
+                         : instance.client_weight[static_cast<std::size_t>(j)];
+    total += w * best;
+  }
+  return total;
+}
+
+}  // namespace faircache::confl

@@ -1,0 +1,110 @@
+#pragma once
+
+// Primal–dual Connected Facility Location (ConFL) approximation — the
+// engine behind the paper's Algorithm 1. Each data chunk induces one ConFL
+// instance: facility costs are the fairness degree costs f_i, assignment
+// costs are the path contention costs c_ij, and the open facilities must be
+// connected to the root (producer) by a Steiner tree over edges with
+// dissemination costs c_e.
+//
+// The implementation follows the paper's transcription of the Jung et al.
+// (2009) primal–dual scheme, with the ambiguities resolved as documented in
+// DESIGN.md §2:
+//
+//   Phase 1 (dual growth): every client j raises a connection bid α_j in
+//   steps of U_α. Once α_j reaches c_ij the client is *tight* with facility
+//   i. Tight clients first pay toward the facility cost (β_ij, rate U_β,
+//   Σ_j β_ij capped at f_i); once the facility is fully paid they raise
+//   relay bids (γ_ij, rate U_γ). When γ_ij ≥ c_ij the client has issued a
+//   SPAN request. A facility with at least `span_threshold` (the paper's M)
+//   outstanding SPAN requests declares itself ADMIN (opens). Clients tight
+//   with an open facility FREEZE and connect; the root is open from the
+//   start, which guarantees termination.
+//
+//   Phase 2: the ADMIN set A is connected to the root by a Steiner tree
+//   (steiner::steiner_mst_approx over `edge_scale`-scaled edge costs), and
+//   every client is re-assigned to its cheapest facility in A ∪ {root}.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "steiner/steiner.h"
+
+namespace faircache::confl {
+
+struct ConflInstance {
+  const graph::Graph* network = nullptr;
+  graph::NodeId root = graph::kInvalidNode;
+  // f_i; +inf marks a node that can never open (producer, full cache).
+  std::vector<double> facility_cost;
+  // c[i][j]: cost for client j to connect to facility i (c[j][j] == 0).
+  std::vector<std::vector<double>> assign_cost;
+  // Dissemination cost per edge of `network`.
+  std::vector<double> edge_cost;
+  // Multiplier M applied to edge costs in the objective (Eq. 8).
+  double edge_scale = 1.0;
+  // Optional per-client demand weights (empty = uniform 1). A client with
+  // weight w contributes w·c_ij to the assignment objective and pays
+  // toward facility costs at w times the base rate — the weighted-clients
+  // generalisation of the paper's "every node wants every chunk" model.
+  std::vector<double> client_weight;
+};
+
+enum class GrowthMode {
+  // Advance all duals by fixed steps per round — the paper's Algorithm 1
+  // with explicit U_α / U_β / U_γ units.
+  kFixedStep,
+  // Advance time to the next discrete event exactly (tightness reached,
+  // facility cost fully paid, M-th SPAN achieved) — the U → 0 limit of the
+  // fixed-step scheme, eliminating discretization error at the price of
+  // more bookkeeping per round.
+  kEventDriven,
+};
+
+struct ConflOptions {
+  GrowthMode growth = GrowthMode::kFixedStep;
+  // Dual growth step sizes (the paper's U_α, U_β, U_γ). alpha_step is the
+  // amount α grows per round; beta/gamma are growth per round once active.
+  // In event-driven mode only the *ratios* U_β/U_α and U_γ/U_α matter.
+  double alpha_step = 1.0;
+  double beta_step = 1.0;
+  // Relay bids grow faster than connection bids by default: U_γ = 4 U_α
+  // (the paper notes the three units "can be different" and that choosing
+  // them wisely improves the solution; this default reproduces the
+  // paper's fairness shape on the 6×6 grid — see EXPERIMENTS.md).
+  double gamma_step = 4.0;
+  // SPAN requests required before a facility opens (the paper's M).
+  int span_threshold = 3;
+  // Safety valve on growth rounds; 0 derives it from max assignment cost.
+  int max_rounds = 0;
+};
+
+struct ConflSolution {
+  std::vector<graph::NodeId> open_facilities;  // the ADMIN set A, sorted
+  // assignment[j] = facility serving client j (root allowed).
+  std::vector<graph::NodeId> assignment;
+  steiner::SteinerTree tree;  // connects A ∪ {root}; empty if A is empty
+
+  double facility_cost = 0.0;    // Σ_{i ∈ A} f_i
+  double assignment_cost = 0.0;  // Σ_j c(assignment[j], j)
+  double tree_cost = 0.0;        // edge_scale × Steiner cost
+  int rounds = 0;                // dual growth rounds executed
+
+  double total() const {
+    return facility_cost + assignment_cost + tree_cost;
+  }
+};
+
+// Runs the primal–dual approximation on one ConFL instance.
+ConflSolution solve_confl(const ConflInstance& instance,
+                          const ConflOptions& options = {});
+
+// Objective value of an arbitrary (facility set, tree) pair under the
+// instance costs, assigning every client to its cheapest open facility.
+// `scaled_tree_cost` must already include the edge_scale factor (as
+// ConflSolution::tree_cost does). Used by tests and the exact solver.
+double evaluate_confl_objective(const ConflInstance& instance,
+                                const std::vector<graph::NodeId>& open,
+                                double scaled_tree_cost);
+
+}  // namespace faircache::confl

@@ -1,0 +1,43 @@
+#include "core/approx.h"
+
+#include "util/stopwatch.h"
+
+namespace faircache::core {
+
+FairCachingResult ApproxFairCaching::run(const FairCachingProblem& problem) {
+  FAIRCACHE_CHECK(problem.network != nullptr, "problem needs a network");
+  FAIRCACHE_CHECK(problem.num_chunks >= 0, "negative chunk count");
+
+  util::Stopwatch clock;
+  FairCachingResult result;
+  result.algorithm = name();
+  result.state = problem.make_initial_state();
+
+  for (metrics::ChunkId chunk = 0; chunk < problem.num_chunks; ++chunk) {
+    // Lines 5–16: refresh f_i and c_ij from the current storage state.
+    const confl::ConflInstance instance =
+        build_chunk_instance(problem, result.state, config_.instance, chunk);
+    // Lines 17–47: primal–dual growth + Steiner connection.
+    const confl::ConflSolution solution =
+        confl::solve_confl(instance, config_.confl);
+
+    ChunkPlacement placement;
+    placement.chunk = chunk;
+    placement.solver_objective = solution.total();
+    placement.solver_rounds = solution.rounds;
+    for (graph::NodeId v : solution.open_facilities) {
+      // A node with finite f_i always has room (full nodes are +inf), and
+      // the solver never opens the producer; guard anyway for robustness.
+      if (result.state.can_cache(v, chunk)) {
+        result.state.add(v, chunk);
+        placement.cache_nodes.push_back(v);
+      }
+    }
+    result.placements.push_back(std::move(placement));
+  }
+
+  result.runtime_seconds = clock.elapsed_seconds();
+  return result;
+}
+
+}  // namespace faircache::core

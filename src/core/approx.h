@@ -1,0 +1,36 @@
+#pragma once
+
+// The paper's Algorithm 1 ("Appx"): for each chunk, rebuild fairness and
+// contention costs from the current cache state, solve the resulting ConFL
+// instance with the primal–dual approximation, cache the chunk on the ADMIN
+// set, and move to the next chunk. Theorem 1 shows this iterated scheme
+// preserves the 6.55 approximation ratio of the underlying ConFL algorithm
+// against the per-chunk optimal transform (8).
+
+#include "confl/confl.h"
+#include "core/instance_builder.h"
+#include "core/problem.h"
+
+namespace faircache::core {
+
+struct ApproxConfig {
+  confl::ConflOptions confl;
+  InstanceOptions instance;
+};
+
+class ApproxFairCaching : public CachingAlgorithm {
+ public:
+  explicit ApproxFairCaching(ApproxConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "Appx"; }
+
+  FairCachingResult run(const FairCachingProblem& problem) override;
+
+  const ApproxConfig& config() const { return config_; }
+
+ private:
+  ApproxConfig config_;
+};
+
+}  // namespace faircache::core

@@ -1,0 +1,34 @@
+#include "core/instance_builder.h"
+
+namespace faircache::core {
+
+confl::ConflInstance build_chunk_instance(const FairCachingProblem& problem,
+                                          const metrics::CacheState& state,
+                                          const InstanceOptions& options,
+                                          metrics::ChunkId chunk) {
+  FAIRCACHE_CHECK(problem.network != nullptr, "problem needs a network");
+  FAIRCACHE_CHECK(state.num_nodes() == problem.network->num_nodes(),
+                  "state / network size mismatch");
+
+  confl::ConflInstance instance;
+  instance.network = problem.network;
+  instance.root = problem.producer;
+  instance.edge_scale = options.edge_scale;
+  instance.facility_cost = options.fairness.costs(state);
+
+  const metrics::ContentionMatrix contention(*problem.network, state,
+                                             options.path_policy);
+  instance.assign_cost = contention.matrix();
+  instance.edge_cost = contention.edge_costs();
+  if (options.demand != nullptr) {
+    FAIRCACHE_CHECK(chunk >= 0 &&
+                        static_cast<std::size_t>(chunk) <
+                            options.demand->size(),
+                    "demand matrix missing chunk row");
+    instance.client_weight =
+        (*options.demand)[static_cast<std::size_t>(chunk)];
+  }
+  return instance;
+}
+
+}  // namespace faircache::core

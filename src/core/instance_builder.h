@@ -1,0 +1,33 @@
+#pragma once
+
+// Builds the per-chunk ConFL instance of transform (8): fairness degree
+// costs as facility costs, path contention costs as assignment costs, and
+// contention edge costs for the dissemination tree — all read from the
+// *current* cache state, which is how Algorithm 1 couples consecutive
+// chunks (caching a chunk raises a node's f_i and its 1+S(k) factor).
+
+#include "confl/confl.h"
+#include "core/problem.h"
+#include "metrics/fairness.h"
+
+namespace faircache::core {
+
+struct InstanceOptions {
+  metrics::PathPolicy path_policy = metrics::PathPolicy::kHopShortest;
+  double edge_scale = 1.0;  // the M multiplier on dissemination edges
+  metrics::FairnessModel fairness;
+  // Optional demand matrix demand[chunk][node] (e.g. from
+  // sim::generate_zipf_demand). When set, each chunk's ConFL instance
+  // weights clients by their demand for that chunk instead of the paper's
+  // uniform "every node wants every chunk" model.
+  const std::vector<std::vector<double>>* demand = nullptr;
+};
+
+// The returned instance borrows `problem.network`; it must outlive the
+// instance. `chunk` selects the demand row when `options.demand` is set.
+confl::ConflInstance build_chunk_instance(const FairCachingProblem& problem,
+                                          const metrics::CacheState& state,
+                                          const InstanceOptions& options,
+                                          metrics::ChunkId chunk = 0);
+
+}  // namespace faircache::core

@@ -1,0 +1,99 @@
+#include "core/online.h"
+
+#include <algorithm>
+
+#include "confl/confl.h"
+#include "graph/shortest_paths.h"
+
+namespace faircache::core {
+
+using graph::NodeId;
+
+OnlineFairCaching::OnlineFairCaching(const FairCachingProblem& problem,
+                                     OnlineConfig config)
+    : problem_(problem),
+      config_(std::move(config)),
+      state_(problem.make_initial_state()),
+      ages_(static_cast<std::size_t>(state_.num_nodes())) {
+  FAIRCACHE_CHECK(problem_.network != nullptr, "problem needs a network");
+}
+
+OnlineStepResult OnlineFairCaching::insert_chunk(metrics::ChunkId chunk) {
+  OnlineStepResult step;
+  step.chunk = chunk;
+
+  confl::ConflInstance instance =
+      build_chunk_instance(problem_, state_, config_.approx.instance, chunk);
+
+  // Replacement: full nodes become eligible at a penalty, priced as if one
+  // slot were already free.
+  if (config_.replacement == ReplacementPolicy::kEvictOldest) {
+    for (NodeId v = 0; v < state_.num_nodes(); ++v) {
+      if (v == state_.producer() || !state_.full(v) ||
+          state_.capacity(v) == 0 || state_.holds(v, chunk)) {
+        continue;
+      }
+      const double used = static_cast<double>(state_.used(v) - 1);
+      const double cap = static_cast<double>(state_.capacity(v));
+      instance.facility_cost[static_cast<std::size_t>(v)] =
+          config_.eviction_penalty + used / (cap - used);
+    }
+  }
+
+  const confl::ConflSolution solution =
+      confl::solve_confl(instance, config_.approx.confl);
+
+  for (NodeId v : solution.open_facilities) {
+    auto& age_list = ages_[static_cast<std::size_t>(v)];
+    if (state_.full(v)) {
+      if (config_.replacement != ReplacementPolicy::kEvictOldest ||
+          state_.capacity(v) == 0) {
+        continue;  // defensive: solver should not have opened this node
+      }
+      // Evict the oldest chunk on v.
+      const auto oldest = std::min_element(age_list.begin(), age_list.end());
+      FAIRCACHE_DCHECK(oldest != age_list.end());
+      state_.remove(v, oldest->second);
+      age_list.erase(oldest);
+      ++total_evictions_;
+      step.evicted_from.push_back(v);
+    }
+    if (state_.can_cache(v, chunk)) {
+      state_.add(v, chunk);
+      age_list.emplace_back(clock_++, chunk);
+      step.cache_nodes.push_back(v);
+    }
+  }
+  return step;
+}
+
+void OnlineFairCaching::retire_chunk(metrics::ChunkId chunk) {
+  for (NodeId v = 0; v < state_.num_nodes(); ++v) {
+    if (v == state_.producer() || !state_.holds(v, chunk)) continue;
+    state_.remove(v, chunk);
+    auto& age_list = ages_[static_cast<std::size_t>(v)];
+    age_list.erase(std::remove_if(age_list.begin(), age_list.end(),
+                                  [&](const auto& entry) {
+                                    return entry.second == chunk;
+                                  }),
+                   age_list.end());
+  }
+}
+
+double OnlineFairCaching::access_cost(metrics::ChunkId chunk) const {
+  const metrics::ContentionMatrix contention(
+      *problem_.network, state_, config_.approx.instance.path_policy);
+  std::vector<NodeId> sources = state_.holders(chunk);
+  sources.push_back(state_.producer());
+
+  double total = 0.0;
+  for (NodeId j = 0; j < state_.num_nodes(); ++j) {
+    if (j == state_.producer()) continue;
+    double best = graph::kInfCost;
+    for (NodeId i : sources) best = std::min(best, contention.cost(i, j));
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace faircache::core

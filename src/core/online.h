@@ -1,0 +1,66 @@
+#pragma once
+
+// Online fair caching — the extension the paper lists as future work
+// (§VI): chunks arrive over time and may become outdated, so the cache
+// needs replacement. Each arriving chunk is placed by one per-chunk ConFL
+// solve against the *current* state (exactly the iterative structure of
+// Algorithm 1); retired chunks free their slots; optionally, full nodes
+// stay eligible at an eviction penalty and evict their oldest chunk when
+// selected.
+
+#include <optional>
+
+#include "core/approx.h"
+#include "core/problem.h"
+
+namespace faircache::core {
+
+enum class ReplacementPolicy {
+  kNone,         // full nodes are never selected (the paper's base model)
+  kEvictOldest,  // full nodes may be selected; oldest chunk is evicted
+};
+
+struct OnlineConfig {
+  ApproxConfig approx;
+  ReplacementPolicy replacement = ReplacementPolicy::kNone;
+  // Added to a full node's fairness cost when replacement is enabled: the
+  // price of evicting its oldest chunk. The fairness term itself is
+  // computed as if one slot were free.
+  double eviction_penalty = 1.0;
+};
+
+struct OnlineStepResult {
+  metrics::ChunkId chunk = 0;
+  std::vector<graph::NodeId> cache_nodes;   // where the chunk landed
+  std::vector<graph::NodeId> evicted_from;  // nodes that evicted for it
+};
+
+class OnlineFairCaching {
+ public:
+  OnlineFairCaching(const FairCachingProblem& problem, OnlineConfig config);
+
+  // Places a newly published chunk; returns where it went and what was
+  // evicted. Chunk ids must be fresh (never inserted before).
+  OnlineStepResult insert_chunk(metrics::ChunkId chunk);
+
+  // Drops an outdated chunk from every cache.
+  void retire_chunk(metrics::ChunkId chunk);
+
+  const metrics::CacheState& state() const { return state_; }
+  long total_evictions() const { return total_evictions_; }
+
+  // Access contention cost of fetching `chunk` from the current caches
+  // (every live node fetches once, producer fallback included).
+  double access_cost(metrics::ChunkId chunk) const;
+
+ private:
+  FairCachingProblem problem_;
+  OnlineConfig config_;
+  metrics::CacheState state_;
+  // Insertion age per (node, chunk) for oldest-first eviction.
+  std::vector<std::vector<std::pair<long, metrics::ChunkId>>> ages_;
+  long clock_ = 0;
+  long total_evictions_ = 0;
+};
+
+}  // namespace faircache::core

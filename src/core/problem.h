@@ -1,0 +1,77 @@
+#pragma once
+
+// Public problem/result types shared by every caching algorithm in the
+// library (the paper's approximation algorithm, the distributed algorithm,
+// the baselines and the brute-force solver all consume and produce these).
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/cache_state.h"
+#include "metrics/contention.h"
+#include "metrics/evaluator.h"
+
+namespace faircache::core {
+
+// One instance of the fair-caching problem (paper §III-A): a connected
+// network, a producer holding `num_chunks` equal-size chunks, per-node
+// cache capacities, and the requirement that every node wants every chunk.
+struct FairCachingProblem {
+  const graph::Graph* network = nullptr;
+  graph::NodeId producer = graph::kInvalidNode;
+  int num_chunks = 0;
+  // Either a uniform capacity...
+  int uniform_capacity = 5;
+  // ...or explicit per-node capacities (wins when non-empty).
+  std::vector<int> capacities;
+
+  metrics::CacheState make_initial_state() const {
+    FAIRCACHE_CHECK(network != nullptr, "problem needs a network");
+    if (!capacities.empty()) {
+      FAIRCACHE_CHECK(static_cast<int>(capacities.size()) ==
+                          network->num_nodes(),
+                      "capacity vector size mismatch");
+      return metrics::CacheState(capacities, producer);
+    }
+    return metrics::CacheState(network->num_nodes(), uniform_capacity,
+                               producer);
+  }
+};
+
+// Where one chunk ended up, plus the per-chunk solver diagnostics.
+struct ChunkPlacement {
+  metrics::ChunkId chunk = 0;
+  std::vector<graph::NodeId> cache_nodes;  // sorted
+  double solver_objective = 0.0;  // the algorithm's internal objective
+  int solver_rounds = 0;          // dual-growth rounds (0 if n/a)
+};
+
+// Output of a caching algorithm run.
+struct FairCachingResult {
+  std::string algorithm;
+  metrics::CacheState state;  // final storage state
+  std::vector<ChunkPlacement> placements;
+  double runtime_seconds = 0.0;
+
+  // Scores the final placement with the shared evaluator.
+  metrics::PlacementEvaluation evaluate(
+      const FairCachingProblem& problem,
+      metrics::PathPolicy policy =
+          metrics::PathPolicy::kHopShortest) const {
+    metrics::EvaluatorOptions options;
+    options.num_chunks = problem.num_chunks;
+    options.path_policy = policy;
+    return metrics::evaluate_placement(*problem.network, state, options);
+  }
+};
+
+// Common interface so harnesses can sweep algorithms uniformly.
+class CachingAlgorithm {
+ public:
+  virtual ~CachingAlgorithm() = default;
+  virtual std::string name() const = 0;
+  virtual FairCachingResult run(const FairCachingProblem& problem) = 0;
+};
+
+}  // namespace faircache::core

@@ -1,0 +1,39 @@
+#pragma once
+
+// "Brtf": the brute-force reference of the paper's evaluation — the optimal
+// solution of transform (8), i.e. each chunk's ConFL instance solved
+// *exactly* (MILP) with fairness/contention state updated between chunks.
+// This is the quantity Theorem 1's 6.55 ratio is stated against.
+//
+// A joint all-chunks MILP (tiny instances only) is provided separately in
+// exact/joint_milp.h.
+
+#include "core/instance_builder.h"
+#include "core/problem.h"
+#include "exact/confl_milp.h"
+
+namespace faircache::exact {
+
+struct BruteForceConfig {
+  ExactConflOptions exact;
+  core::InstanceOptions instance;
+};
+
+class BruteForceCaching : public core::CachingAlgorithm {
+ public:
+  explicit BruteForceCaching(BruteForceConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "Brtf"; }
+
+  core::FairCachingResult run(const core::FairCachingProblem& problem) override;
+
+  // True when every chunk's MILP closed its gap in the last run.
+  bool all_proven_optimal() const { return all_proven_optimal_; }
+
+ private:
+  BruteForceConfig config_;
+  bool all_proven_optimal_ = false;
+};
+
+}  // namespace faircache::exact

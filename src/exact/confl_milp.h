@@ -1,0 +1,61 @@
+#pragma once
+
+// Exact ConFL via MILP. The paper's connectivity constraint family (6) is
+// exponential (one row per node subset); we encode it equivalently with a
+// polynomial single-commodity flow: the root injects one unit of flow per
+// open facility, facilities absorb one unit each, and flow may only ride
+// edges bought for the Steiner tree (z_e = 1). Any feasible integral
+// solution therefore connects every open facility to the root, and the
+// minimal-cost choice of z edges is exactly the optimal Steiner tree.
+//
+// Variable reduction: assignments x_ij with c_ij > c_root,j are dominated
+// (serving j straight from the root is feasible and cheaper) and omitted.
+
+#include <vector>
+
+#include "confl/confl.h"
+#include "lp/problem.h"
+#include "mip/branch_and_bound.h"
+
+namespace faircache::exact {
+
+// Bookkeeping to read a MILP solution back into graph terms.
+struct ConflMilpMaps {
+  // y variable per node; -1 when the node can never open (f_i = +inf). The
+  // root has no y variable (it is the flow source, not a facility).
+  std::vector<lp::VarId> open_var;
+  // x variable per (facility i, client j); -1 when pruned or absent.
+  std::vector<std::vector<lp::VarId>> assign_var;
+  // z variable per edge.
+  std::vector<lp::VarId> edge_var;
+  // Directed flow variables per edge: forward = u→v, backward = v→u.
+  std::vector<lp::VarId> flow_forward;
+  std::vector<lp::VarId> flow_backward;
+};
+
+// Builds the MILP for one ConFL instance.
+lp::LpProblem build_confl_milp(const confl::ConflInstance& instance,
+                               ConflMilpMaps* maps);
+
+struct ExactConflOptions {
+  mip::MipOptions mip;
+  // Seed branch and bound with the primal–dual solution (strongly
+  // recommended: it both prunes and guarantees a feasible fallback).
+  bool warm_start_with_primal_dual = true;
+  confl::ConflOptions primal_dual;
+};
+
+struct ExactConflSolution {
+  std::vector<graph::NodeId> open_facilities;  // sorted
+  double objective = 0.0;
+  double best_bound = 0.0;
+  bool proven_optimal = false;
+  long nodes_explored = 0;
+};
+
+// Solves one ConFL instance exactly (subject to the MIP limits; with a warm
+// start the result is never worse than the primal–dual solution).
+ExactConflSolution solve_confl_exact(const confl::ConflInstance& instance,
+                                     const ExactConflOptions& options = {});
+
+}  // namespace faircache::exact

@@ -1,0 +1,34 @@
+#pragma once
+
+// Graphviz DOT export for topologies and placements — handy for inspecting
+// what a caching algorithm actually did (`dot -Tsvg out.dot`).
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace faircache::graph {
+
+struct DotOptions {
+  // Optional geometric positions (pinned with `pos` attributes).
+  const std::vector<double>* x = nullptr;
+  const std::vector<double>* y = nullptr;
+  // Scale applied to positions (DOT units).
+  double position_scale = 10.0;
+  // Node labels; empty = node id.
+  std::vector<std::string> labels;
+  // Highlighted nodes (e.g. caching nodes) get a filled style.
+  std::vector<NodeId> highlight;
+  // One node drawn as the producer (double circle).
+  std::optional<NodeId> producer;
+  std::string graph_name = "faircache";
+};
+
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& options);
+
+std::string to_dot(const Graph& g, const DotOptions& options = {});
+
+}  // namespace faircache::graph

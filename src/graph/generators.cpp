@@ -1,0 +1,199 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace faircache::graph {
+
+Graph make_grid(int rows, int cols) {
+  FAIRCACHE_CHECK(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  Graph g(rows * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const NodeId v = r * cols + c;
+      if (c + 1 < cols) g.add_edge(v, v + 1);
+      if (r + 1 < rows) g.add_edge(v, v + cols);
+    }
+  }
+  return g;
+}
+
+GridPosition grid_position(int cols, NodeId v) {
+  FAIRCACHE_CHECK(cols >= 1 && v >= 0);
+  return GridPosition{v / cols, v % cols};
+}
+
+Graph make_path(int n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph make_star(int n) {
+  FAIRCACHE_CHECK(n >= 1);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph make_ring(int n) {
+  FAIRCACHE_CHECK(n >= 3, "ring needs at least 3 nodes");
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph make_complete(int n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph make_watts_strogatz(int n, int k, double beta, util::Rng& rng) {
+  FAIRCACHE_CHECK(n >= 3, "need at least 3 nodes");
+  FAIRCACHE_CHECK(k >= 2 && k % 2 == 0 && k < n,
+                  "k must be even and in [2, n)");
+  FAIRCACHE_CHECK(beta >= 0.0 && beta <= 1.0, "beta must be in [0, 1]");
+
+  Graph g(n);
+  // Ring lattice.
+  for (NodeId v = 0; v < n; ++v) {
+    for (int offset = 1; offset <= k / 2; ++offset) {
+      const NodeId w = (v + offset) % n;
+      if (!g.has_edge(v, w)) g.add_edge(v, w);
+    }
+  }
+  // Rewire: rebuild the edge set, moving each lattice edge's far endpoint
+  // to a random node with probability beta.
+  const std::vector<Edge> original(g.edges().begin(), g.edges().end());
+  Graph rewired(n);
+  for (const Edge& e : original) {
+    NodeId u = e.u;
+    NodeId v = e.v;
+    if (rng.bernoulli(beta)) {
+      // Try a handful of random targets; fall back to the original edge.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const NodeId w = static_cast<NodeId>(
+            rng.bounded(static_cast<std::uint64_t>(n)));
+        if (w != u && !rewired.has_edge(u, w)) {
+          v = w;
+          break;
+        }
+      }
+    }
+    if (!rewired.has_edge(u, v)) rewired.add_edge(u, v);
+  }
+  // Stitch components if rewiring disconnected the graph.
+  while (!rewired.is_connected()) {
+    const auto labels = rewired.component_labels();
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    for (NodeId v = 0; v < n && (a == kInvalidNode || b == kInvalidNode);
+         ++v) {
+      if (labels[static_cast<std::size_t>(v)] == 0) {
+        a = v;
+      } else if (labels[static_cast<std::size_t>(v)] != 0) {
+        b = v;
+      }
+    }
+    rewired.add_edge(a, b);
+  }
+  return rewired;
+}
+
+Graph make_barabasi_albert(int n, int m, util::Rng& rng) {
+  FAIRCACHE_CHECK(m >= 1 && m < n, "m must be in [1, n)");
+  Graph g(n);
+  // Seed clique on m + 1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) g.add_edge(u, v);
+  }
+  // Degree-proportional sampling via the repeated-endpoints trick.
+  std::vector<NodeId> endpoints;
+  for (const Edge& e : g.edges()) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+  for (NodeId v = m + 1; v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (static_cast<int>(targets.size()) < m) {
+      const NodeId candidate = endpoints[static_cast<std::size_t>(
+          rng.bounded(endpoints.size()))];
+      if (candidate != v &&
+          std::find(targets.begin(), targets.end(), candidate) ==
+              targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+GeometricNetwork make_random_geometric(const RandomGeometricConfig& config,
+                                       util::Rng& rng) {
+  FAIRCACHE_CHECK(config.num_nodes >= 1, "need at least one node");
+  FAIRCACHE_CHECK(config.radius > 0 && config.area > 0,
+                  "radius/area must be positive");
+
+  GeometricNetwork net;
+  const int n = config.num_nodes;
+  net.graph = Graph(n);
+  net.x.resize(static_cast<std::size_t>(n));
+  net.y.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    net.x[static_cast<std::size_t>(v)] = rng.uniform(0.0, config.area);
+    net.y[static_cast<std::size_t>(v)] = rng.uniform(0.0, config.area);
+  }
+
+  auto dist2 = [&](NodeId a, NodeId b) {
+    const double dx = net.x[static_cast<std::size_t>(a)] -
+                      net.x[static_cast<std::size_t>(b)];
+    const double dy = net.y[static_cast<std::size_t>(a)] -
+                      net.y[static_cast<std::size_t>(b)];
+    return dx * dx + dy * dy;
+  };
+
+  const double r2 = config.radius * config.radius;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (dist2(u, v) <= r2) net.graph.add_edge(u, v);
+    }
+  }
+
+  // Stitch components together by repeatedly linking the geometrically
+  // closest pair of nodes in different components. This keeps the "radio
+  // range" intuition: the added links are the shortest infeasible ones.
+  while (!net.graph.is_connected()) {
+    const auto labels = net.graph.component_labels();
+    double best = std::numeric_limits<double>::infinity();
+    NodeId bu = kInvalidNode;
+    NodeId bv = kInvalidNode;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (labels[static_cast<std::size_t>(u)] ==
+            labels[static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        const double d = dist2(u, v);
+        if (d < best) {
+          best = d;
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    FAIRCACHE_CHECK(bu != kInvalidNode, "disconnected graph with no fix pair");
+    net.graph.add_edge(bu, bv);
+  }
+  return net;
+}
+
+}  // namespace faircache::graph

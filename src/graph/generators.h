@@ -1,0 +1,70 @@
+#pragma once
+
+// Topology generators for the paper's two evaluation families (§V-A):
+// grid networks and connected random-geometric ("random") networks, plus a
+// few auxiliary shapes used by tests.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace faircache::graph {
+
+// rows × cols grid; node id = row * cols + col; every node connects to its
+// 4-neighbourhood (fewer on the boundary), matching the paper's grids.
+Graph make_grid(int rows, int cols);
+
+// Position of a grid node, for rendering / geometric reasoning.
+struct GridPosition {
+  int row = 0;
+  int col = 0;
+};
+GridPosition grid_position(int cols, NodeId v);
+
+// Simple path 0-1-…-(n-1).
+Graph make_path(int n);
+
+// Star with node 0 as hub.
+Graph make_star(int n);
+
+// Cycle 0-1-…-(n-1)-0 (n ≥ 3).
+Graph make_ring(int n);
+
+// Complete graph on n nodes.
+Graph make_complete(int n);
+
+// Random geometric graph: n nodes placed uniformly in [0, area)²; nodes
+// within `radius` are connected (paper: "nodes within a certain range are
+// connected"). If the result is disconnected, the nearest pair of nodes
+// across components is linked until connected ("make sure the random
+// network is a connected graph").
+struct RandomGeometricConfig {
+  int num_nodes = 50;
+  double area = 1.0;
+  double radius = 0.2;
+};
+
+struct GeometricNetwork {
+  Graph graph;
+  std::vector<double> x;  // node positions, for rendering
+  std::vector<double> y;
+};
+
+GeometricNetwork make_random_geometric(const RandomGeometricConfig& config,
+                                       util::Rng& rng);
+
+// Watts–Strogatz small-world graph: a ring lattice where every node links
+// to its k/2 nearest neighbours on each side, with each edge rewired to a
+// random target with probability beta. Used by the topology-sensitivity
+// ablation (not part of the paper's evaluation). The result is made
+// connected by stitching components with random links if rewiring
+// disconnects it. k must be even, 2 ≤ k < n.
+Graph make_watts_strogatz(int n, int k, double beta, util::Rng& rng);
+
+// Barabási–Albert preferential-attachment graph: starts from a clique of
+// m + 1 nodes; each new node attaches m edges to existing nodes with
+// probability proportional to their degree. Always connected. 1 ≤ m < n.
+Graph make_barabasi_albert(int n, int m, util::Rng& rng);
+
+}  // namespace faircache::graph

@@ -1,0 +1,100 @@
+#pragma once
+
+// Undirected network topology for the multi-hop wireless edge network
+// (paper §III-A). Nodes are dense integer ids [0, N); edges are unweighted
+// links — all link/latency semantics live in the metrics layer.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace faircache::graph {
+
+using NodeId = int;
+using EdgeId = int;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  // The endpoint that is not `from`.
+  NodeId other(NodeId from) const {
+    FAIRCACHE_DCHECK(from == u || from == v);
+    return from == u ? v : u;
+  }
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  bool contains(NodeId v) const { return v >= 0 && v < num_nodes(); }
+
+  // Adds an undirected edge; returns its id. Self loops and duplicate edges
+  // are rejected (multi-edges have no meaning for a wireless link graph).
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+  std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
+
+  const Edge& edge(EdgeId e) const {
+    FAIRCACHE_DCHECK(e >= 0 && e < num_edges());
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  std::span<const Edge> edges() const { return edges_; }
+
+  // Neighbours of v in ascending node id (kept sorted on insertion so that
+  // BFS/DFS traversals are deterministic).
+  std::span<const NodeId> neighbors(NodeId v) const {
+    FAIRCACHE_DCHECK(contains(v));
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+
+  // Incident edge ids of v, aligned with neighbors(v).
+  std::span<const EdgeId> incident_edges(NodeId v) const {
+    FAIRCACHE_DCHECK(contains(v));
+    return incident_[static_cast<std::size_t>(v)];
+  }
+
+  int degree(NodeId v) const {
+    return static_cast<int>(neighbors(v).size());
+  }
+
+  bool is_connected() const;
+
+  // Connected component label per node (labels are 0-based, assigned in
+  // order of the smallest node id in each component).
+  std::vector<int> component_labels() const;
+
+  // Node ids of the largest connected component (smallest-label tie-break).
+  std::vector<NodeId> largest_component() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::vector<EdgeId>> incident_;
+  std::vector<Edge> edges_;
+};
+
+// Subgraph induced by a node subset, plus the id mappings in both
+// directions (used by the baselines' multi-item subgraph rounds).
+struct Subgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;  // new id -> original id
+  std::vector<NodeId> to_new;       // original id -> new id or kInvalidNode
+};
+
+// Builds the subgraph induced by `keep` (ids must be unique and valid).
+Subgraph induced_subgraph(const Graph& g, std::span<const NodeId> keep);
+
+}  // namespace faircache::graph

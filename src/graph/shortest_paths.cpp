@@ -1,0 +1,203 @@
+#include "graph/shortest_paths.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace faircache::graph {
+
+BfsTree bfs(const Graph& g, NodeId source) {
+  FAIRCACHE_CHECK(g.contains(source), "bfs source out of range");
+  BfsTree tree;
+  tree.source = source;
+  tree.hops.assign(static_cast<std::size_t>(g.num_nodes()), kUnreachable);
+  tree.parent.assign(static_cast<std::size_t>(g.num_nodes()), kInvalidNode);
+
+  std::queue<NodeId> frontier;
+  tree.hops[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId w : g.neighbors(v)) {  // ascending id — deterministic
+      if (tree.hops[static_cast<std::size_t>(w)] == kUnreachable) {
+        tree.hops[static_cast<std::size_t>(w)] =
+            tree.hops[static_cast<std::size_t>(v)] + 1;
+        tree.parent[static_cast<std::size_t>(w)] = v;
+        frontier.push(w);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target) {
+  FAIRCACHE_CHECK(target >= 0 &&
+                      target < static_cast<NodeId>(tree.hops.size()),
+                  "path target out of range");
+  if (tree.hops[static_cast<std::size_t>(target)] == kUnreachable) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != kInvalidNode;
+       v = tree.parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<NodeId> hop_path(const Graph& g, NodeId from, NodeId to) {
+  return extract_path(bfs(g, from), to);
+}
+
+std::vector<std::vector<int>> all_pairs_hops(const Graph& g) {
+  std::vector<std::vector<int>> result;
+  result.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result.push_back(bfs(g, v).hops);
+  }
+  return result;
+}
+
+std::vector<NodeId> k_hop_neighborhood(const Graph& g, NodeId source,
+                                       int limit) {
+  FAIRCACHE_CHECK(limit >= 0, "negative hop limit");
+  const BfsTree tree = bfs(g, source);
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int h = tree.hops[static_cast<std::size_t>(v)];
+    if (h != kUnreachable && h <= limit) result.push_back(v);
+  }
+  return result;
+}
+
+NodeWeightedPaths dijkstra_node_weights(const Graph& g, NodeId source,
+                                        const std::vector<double>& weight) {
+  FAIRCACHE_CHECK(g.contains(source), "dijkstra source out of range");
+  FAIRCACHE_CHECK(static_cast<int>(weight.size()) == g.num_nodes(),
+                  "weight vector size mismatch");
+  for (double w : weight) {
+    FAIRCACHE_CHECK(w >= 0, "node weights must be non-negative");
+  }
+
+  NodeWeightedPaths out;
+  out.source = source;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  out.cost.assign(n, kInfCost);
+  out.parent.assign(n, kInvalidNode);
+  std::vector<int> hops(n, kUnreachable);
+
+  // Priority: (cost, hops, node id) — fully deterministic ordering.
+  using Entry = std::tuple<double, int, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  // Self access costs nothing (c_ii = 0, DESIGN.md §2.2): the source's own
+  // weight is only charged once a path actually leaves the node, so a
+  // single-node "path" is free while any real path includes both endpoints.
+  out.cost[static_cast<std::size_t>(source)] = 0.0;
+  hops[static_cast<std::size_t>(source)] = 0;
+  heap.emplace(0.0, 0, source);
+
+  std::vector<char> settled(n, 0);
+  while (!heap.empty()) {
+    const auto [cost, hop, v] = heap.top();
+    heap.pop();
+    if (settled[static_cast<std::size_t>(v)]) continue;
+    settled[static_cast<std::size_t>(v)] = 1;
+    // Leaving the source for the first time charges the source's weight.
+    const double base =
+        v == source ? weight[static_cast<std::size_t>(source)] : cost;
+    for (NodeId w : g.neighbors(v)) {
+      if (settled[static_cast<std::size_t>(w)]) continue;
+      const double cand = base + weight[static_cast<std::size_t>(w)];
+      const int cand_hops = hop + 1;
+      auto& cur = out.cost[static_cast<std::size_t>(w)];
+      auto& cur_hops = hops[static_cast<std::size_t>(w)];
+      auto& cur_parent = out.parent[static_cast<std::size_t>(w)];
+      const bool better =
+          cand < cur || (cand == cur && cand_hops < cur_hops) ||
+          (cand == cur && cand_hops == cur_hops && v < cur_parent);
+      if (better) {
+        cur = cand;
+        cur_hops = cand_hops;
+        cur_parent = v;
+        heap.emplace(cand, cand_hops, w);
+      }
+    }
+  }
+  return out;
+}
+
+EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
+                                        const std::vector<double>& weight) {
+  FAIRCACHE_CHECK(g.contains(source), "dijkstra source out of range");
+  FAIRCACHE_CHECK(static_cast<int>(weight.size()) == g.num_edges(),
+                  "edge weight vector size mismatch");
+
+  EdgeWeightedPaths out;
+  out.source = source;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  out.cost.assign(n, kInfCost);
+  out.parent.assign(n, kInvalidNode);
+  out.parent_edge.assign(n, -1);
+
+  using Entry = std::tuple<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  out.cost[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+  std::vector<char> settled(n, 0);
+  while (!heap.empty()) {
+    const auto [cost, v] = heap.top();
+    heap.pop();
+    if (settled[static_cast<std::size_t>(v)]) continue;
+    settled[static_cast<std::size_t>(v)] = 1;
+    const auto nbrs = g.neighbors(v);
+    const auto incs = g.incident_edges(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const NodeId w = nbrs[k];
+      if (settled[static_cast<std::size_t>(w)]) continue;
+      const EdgeId e = incs[k];
+      const double ew = weight[static_cast<std::size_t>(e)];
+      FAIRCACHE_DCHECK(ew >= 0, "edge weights must be non-negative");
+      const double cand = cost + ew;
+      auto& cur = out.cost[static_cast<std::size_t>(w)];
+      auto& cur_parent = out.parent[static_cast<std::size_t>(w)];
+      if (cand < cur || (cand == cur && v < cur_parent)) {
+        cur = cand;
+        cur_parent = v;
+        out.parent_edge[static_cast<std::size_t>(w)] = e;
+        heap.emplace(cand, w);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> floyd_warshall(
+    const Graph& g, const std::vector<double>& edge_weight) {
+  FAIRCACHE_CHECK(static_cast<int>(edge_weight.size()) == g.num_edges(),
+                  "edge weight vector size mismatch");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, kInfCost));
+  for (std::size_t v = 0; v < n; ++v) d[v][v] = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const double w = edge_weight[static_cast<std::size_t>(e)];
+    FAIRCACHE_CHECK(w >= 0, "edge weights must be non-negative");
+    const auto u = static_cast<std::size_t>(edge.u);
+    const auto v = static_cast<std::size_t>(edge.v);
+    d[u][v] = std::min(d[u][v], w);
+    d[v][u] = std::min(d[v][u], w);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d[i][k] == kInfCost) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (d[k][j] == kInfCost) continue;
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace faircache::graph

@@ -1,0 +1,76 @@
+#pragma once
+
+// Shortest-path machinery. The paper routes all traffic along *hop-shortest*
+// paths ("a node will find the nearest copy of a chunk and go through the
+// shortest hop path", §V-A); contention weights are then summed along those
+// paths. We also provide node-weighted Dijkstra and Floyd–Warshall, used by
+// the Steiner/metric-closure layers and as test oracles.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace faircache::graph {
+
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+// BFS tree rooted at `source`. Neighbours are explored in ascending id, so
+// the parent of every node is the smallest-id predecessor on any
+// hop-shortest path — deterministic tie-breaking across the whole library.
+struct BfsTree {
+  NodeId source = kInvalidNode;
+  std::vector<int> hops;       // hop distance, kUnreachable if none
+  std::vector<NodeId> parent;  // kInvalidNode for source / unreachable
+};
+
+BfsTree bfs(const Graph& g, NodeId source);
+
+// Hop-shortest path from the BFS tree's source to `target`, inclusive of
+// both endpoints; empty if unreachable.
+std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target);
+
+// Convenience: deterministic hop-shortest path between two nodes.
+std::vector<NodeId> hop_path(const Graph& g, NodeId from, NodeId to);
+
+// All-pairs hop distances via n BFS runs: result[u][v].
+std::vector<std::vector<int>> all_pairs_hops(const Graph& g);
+
+// Nodes within `limit` hops of `source` (including source itself),
+// ascending id — the k-hop neighbourhood used by the distributed algorithm.
+std::vector<NodeId> k_hop_neighborhood(const Graph& g, NodeId source,
+                                       int limit);
+
+// Dijkstra over *node* weights: the cost of a path is the sum of weight[k]
+// for every node k on the path including both endpoints, matching the
+// paper's path contention cost (Eq. 2). Cost from a node to itself is 0.
+// Tie-breaking: lower cost first, then fewer hops, then smaller parent id.
+struct NodeWeightedPaths {
+  NodeId source = kInvalidNode;
+  std::vector<double> cost;    // kInfCost if unreachable; 0 at source
+  std::vector<NodeId> parent;  // kInvalidNode for source / unreachable
+};
+
+NodeWeightedPaths dijkstra_node_weights(const Graph& g, NodeId source,
+                                        const std::vector<double>& weight);
+
+// Classic edge-weighted Dijkstra. Tie-breaking: lower cost, then smaller
+// parent id — deterministic path trees for the Steiner expansion step.
+struct EdgeWeightedPaths {
+  NodeId source = kInvalidNode;
+  std::vector<double> cost;       // kInfCost if unreachable
+  std::vector<NodeId> parent;     // kInvalidNode for source / unreachable
+  std::vector<EdgeId> parent_edge;  // edge to parent, -1 if none
+};
+
+EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
+                                        const std::vector<double>& weight);
+
+// Floyd–Warshall over explicit edge weights (dense). Used as an oracle in
+// tests and by the metric-closure construction.
+std::vector<std::vector<double>> floyd_warshall(
+    const Graph& g, const std::vector<double>& edge_weight);
+
+}  // namespace faircache::graph

@@ -1,0 +1,72 @@
+#include "metrics/cache_state.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace faircache::metrics {
+
+CacheState::CacheState(int num_nodes, int capacity, graph::NodeId producer)
+    : CacheState(std::vector<int>(static_cast<std::size_t>(num_nodes),
+                                  capacity),
+                 producer) {}
+
+CacheState::CacheState(std::vector<int> capacities, graph::NodeId producer)
+    : capacity_(std::move(capacities)),
+      stored_(capacity_.size()),
+      producer_(producer) {
+  FAIRCACHE_CHECK(producer_ >= 0 && producer_ < num_nodes(),
+                  "producer out of range");
+  for (int c : capacity_) {
+    FAIRCACHE_CHECK(c >= 0, "negative capacity");
+  }
+}
+
+bool CacheState::can_cache(graph::NodeId v, ChunkId chunk) const {
+  FAIRCACHE_CHECK(v >= 0 && v < num_nodes(), "node out of range");
+  if (v == producer_) return false;
+  if (full(v)) return false;
+  return !holds(v, chunk);
+}
+
+bool CacheState::holds(graph::NodeId v, ChunkId chunk) const {
+  FAIRCACHE_CHECK(v >= 0 && v < num_nodes(), "node out of range");
+  const auto& chunks = stored_[static_cast<std::size_t>(v)];
+  return std::binary_search(chunks.begin(), chunks.end(), chunk);
+}
+
+void CacheState::add(graph::NodeId v, ChunkId chunk) {
+  FAIRCACHE_CHECK(can_cache(v, chunk),
+                  "node cannot cache chunk (producer/full/duplicate)");
+  auto& chunks = stored_[static_cast<std::size_t>(v)];
+  chunks.insert(std::lower_bound(chunks.begin(), chunks.end(), chunk), chunk);
+}
+
+void CacheState::remove(graph::NodeId v, ChunkId chunk) {
+  FAIRCACHE_CHECK(holds(v, chunk), "node does not hold chunk");
+  auto& chunks = stored_[static_cast<std::size_t>(v)];
+  chunks.erase(std::lower_bound(chunks.begin(), chunks.end(), chunk));
+}
+
+std::vector<graph::NodeId> CacheState::holders(ChunkId chunk) const {
+  std::vector<graph::NodeId> result;
+  for (graph::NodeId v = 0; v < num_nodes(); ++v) {
+    if (v != producer_ && holds(v, chunk)) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<int> CacheState::stored_counts() const {
+  std::vector<int> counts(capacity_.size());
+  for (graph::NodeId v = 0; v < num_nodes(); ++v) {
+    counts[static_cast<std::size_t>(v)] = used(v);
+  }
+  return counts;
+}
+
+int CacheState::total_stored() const {
+  int total = 0;
+  for (graph::NodeId v = 0; v < num_nodes(); ++v) total += used(v);
+  return total;
+}
+
+}  // namespace faircache::metrics

@@ -1,0 +1,72 @@
+#pragma once
+
+// Per-node caching storage state (paper §III-B). Tracks which chunks each
+// node stores against a fixed per-node capacity; the producer never caches.
+// This is the single source of truth that both the fairness degree cost
+// (Eq. 1) and the contention costs (Eq. 2, via the 1 + S(k) factor) read.
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace faircache::metrics {
+
+using ChunkId = int;
+
+class CacheState {
+ public:
+  CacheState() = default;
+
+  // Uniform capacity (the paper uses 5 chunks per node).
+  CacheState(int num_nodes, int capacity, graph::NodeId producer);
+
+  // Heterogeneous capacities (vehicular / IoT scenarios).
+  CacheState(std::vector<int> capacities, graph::NodeId producer);
+
+  int num_nodes() const { return static_cast<int>(capacity_.size()); }
+  graph::NodeId producer() const { return producer_; }
+
+  int capacity(graph::NodeId v) const {
+    return capacity_[static_cast<std::size_t>(v)];
+  }
+  // S(v): number of chunks currently cached on v.
+  int used(graph::NodeId v) const {
+    return static_cast<int>(stored_[static_cast<std::size_t>(v)].size());
+  }
+  int remaining(graph::NodeId v) const { return capacity(v) - used(v); }
+  bool full(graph::NodeId v) const { return remaining(v) <= 0; }
+
+  // Can v accept a copy of `chunk`? False for the producer, full nodes and
+  // nodes that already hold the chunk.
+  bool can_cache(graph::NodeId v, ChunkId chunk) const;
+
+  bool holds(graph::NodeId v, ChunkId chunk) const;
+
+  // Record that v caches `chunk`. Precondition: can_cache(v, chunk).
+  void add(graph::NodeId v, ChunkId chunk);
+
+  // Remove a cached chunk (cache-replacement extension). Precondition:
+  // holds(v, chunk).
+  void remove(graph::NodeId v, ChunkId chunk);
+
+  // Chunks cached on v, ascending chunk id.
+  const std::vector<ChunkId>& chunks_on(graph::NodeId v) const {
+    return stored_[static_cast<std::size_t>(v)];
+  }
+
+  // Nodes caching `chunk`, ascending node id (excludes the producer, which
+  // implicitly always has every chunk).
+  std::vector<graph::NodeId> holders(ChunkId chunk) const;
+
+  // t_i vector: chunks stored per node. The producer's entry is always 0.
+  std::vector<int> stored_counts() const;
+
+  int total_stored() const;
+
+ private:
+  std::vector<int> capacity_;
+  std::vector<std::vector<ChunkId>> stored_;
+  graph::NodeId producer_ = graph::kInvalidNode;
+};
+
+}  // namespace faircache::metrics

@@ -1,0 +1,90 @@
+#include "metrics/contention.h"
+
+#include <algorithm>
+
+#include "graph/shortest_paths.h"
+
+namespace faircache::metrics {
+
+std::vector<double> node_contention(const graph::Graph& g) {
+  std::vector<double> w(static_cast<std::size_t>(g.num_nodes()));
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    w[static_cast<std::size_t>(v)] = static_cast<double>(g.degree(v));
+  }
+  return w;
+}
+
+std::vector<double> contention_weights(const graph::Graph& g,
+                                       const CacheState& state) {
+  FAIRCACHE_CHECK(state.num_nodes() == g.num_nodes(),
+                  "cache state / graph size mismatch");
+  std::vector<double> w = node_contention(g);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    w[static_cast<std::size_t>(v)] *= 1.0 + static_cast<double>(state.used(v));
+  }
+  return w;
+}
+
+ContentionMatrix::ContentionMatrix(const graph::Graph& g,
+                                   const CacheState& state, PathPolicy policy)
+    : policy_(policy) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const std::vector<double> weight = contention_weights(g, state);
+  cost_.assign(n, std::vector<double>(n, 0.0));
+
+  if (policy == PathPolicy::kHopShortest) {
+    // c_ij: walk the deterministic BFS tree from i and accumulate weights.
+    for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+      const graph::BfsTree tree = graph::bfs(g, i);
+      // Accumulate along parent pointers: cost[j] = cost[parent] + w[j],
+      // seeded with w[i] charged once a path leaves i.
+      std::vector<double> acc(n, 0.0);
+      // BFS order guarantees parents are finalized before children; redo a
+      // BFS-ordered sweep using hop levels.
+      std::vector<graph::NodeId> order(g.num_nodes());
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) order[v] = v;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](graph::NodeId a, graph::NodeId b) {
+                         return tree.hops[static_cast<std::size_t>(a)] <
+                                tree.hops[static_cast<std::size_t>(b)];
+                       });
+      for (graph::NodeId v : order) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (tree.hops[vi] == graph::kUnreachable || v == i) continue;
+        const graph::NodeId p = tree.parent[vi];
+        const double base = p == i ? weight[static_cast<std::size_t>(i)]
+                                   : acc[static_cast<std::size_t>(p)];
+        acc[vi] = base + weight[vi];
+      }
+      for (graph::NodeId j = 0; j < g.num_nodes(); ++j) {
+        cost_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            tree.hops[static_cast<std::size_t>(j)] == graph::kUnreachable
+                ? graph::kInfCost
+                : acc[static_cast<std::size_t>(j)];
+      }
+    }
+  } else {
+    for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+      const auto paths = graph::dijkstra_node_weights(g, i, weight);
+      cost_[static_cast<std::size_t>(i)] = paths.cost;
+    }
+  }
+
+  // Dissemination edge costs.
+  edge_cost_.resize(static_cast<std::size_t>(g.num_edges()));
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge& edge = g.edge(e);
+    edge_cost_[static_cast<std::size_t>(e)] =
+        weight[static_cast<std::size_t>(edge.u)] +
+        weight[static_cast<std::size_t>(edge.v)];
+  }
+
+  max_cost_ = 0.0;
+  for (const auto& row : cost_) {
+    for (double c : row) {
+      if (c != graph::kInfCost) max_cost_ = std::max(max_cost_, c);
+    }
+  }
+}
+
+}  // namespace faircache::metrics

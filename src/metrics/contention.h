@@ -1,0 +1,60 @@
+#pragma once
+
+// Contention-induced delay cost (paper §III-C).
+//
+//   * Node Contention Cost  w_k = degree(k)        (one chunk per neighbour)
+//   * Path Contention Cost  c_ij = Σ_{k ∈ PATH(i,j)} w_k · (1 + S(k))
+//
+// PATH(i, j) is the deterministic hop-shortest path (both endpoints
+// included); c_ii = 0 because a self access transmits nothing. The edge
+// cost used for the dissemination Steiner tree is the path cost of the
+// two-node path: c_e = w_u(1+S(u)) + w_v(1+S(v)).
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/cache_state.h"
+
+namespace faircache::metrics {
+
+// w_k for every node.
+std::vector<double> node_contention(const graph::Graph& g);
+
+// Per-node contention weight including the storage factor: w_k · (1 + S(k)).
+std::vector<double> contention_weights(const graph::Graph& g,
+                                       const CacheState& state);
+
+// How PATH(i, j) is chosen when computing c_ij.
+enum class PathPolicy {
+  // Hop-shortest path with deterministic tie-breaking — the paper's model.
+  kHopShortest,
+  // Minimum-contention path (node-weighted Dijkstra) — ablation variant.
+  kMinContention,
+};
+
+// Dense matrix of path contention costs c_ij for the current cache state.
+class ContentionMatrix {
+ public:
+  ContentionMatrix(const graph::Graph& g, const CacheState& state,
+                   PathPolicy policy = PathPolicy::kHopShortest);
+
+  double cost(graph::NodeId i, graph::NodeId j) const {
+    return cost_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  }
+  const std::vector<std::vector<double>>& matrix() const { return cost_; }
+
+  // Dissemination edge cost c_e for every edge of the graph.
+  const std::vector<double>& edge_costs() const { return edge_cost_; }
+
+  double max_cost() const { return max_cost_; }
+
+  PathPolicy policy() const { return policy_; }
+
+ private:
+  std::vector<std::vector<double>> cost_;
+  std::vector<double> edge_cost_;
+  double max_cost_ = 0.0;
+  PathPolicy policy_;
+};
+
+}  // namespace faircache::metrics

@@ -1,0 +1,71 @@
+#include "metrics/evaluator.h"
+
+#include "graph/shortest_paths.h"
+#include "steiner/steiner.h"
+
+namespace faircache::metrics {
+
+PlacementEvaluation evaluate_placement(const graph::Graph& g,
+                                       const CacheState& state,
+                                       const EvaluatorOptions& options) {
+  FAIRCACHE_CHECK(state.num_nodes() == g.num_nodes(),
+                  "cache state / graph size mismatch");
+  FAIRCACHE_CHECK(options.num_chunks >= 0, "negative chunk count");
+
+  const ContentionMatrix contention(g, state, options.path_policy);
+  const graph::NodeId producer = state.producer();
+
+  PlacementEvaluation eval;
+  eval.per_chunk.reserve(static_cast<std::size_t>(options.num_chunks));
+
+  for (ChunkId chunk = 0; chunk < options.num_chunks; ++chunk) {
+    ChunkEvaluation ce;
+    ce.chunk = chunk;
+    ce.assignment.assign(static_cast<std::size_t>(g.num_nodes()),
+                         graph::kInvalidNode);
+
+    std::vector<graph::NodeId> sources = state.holders(chunk);
+    sources.push_back(producer);  // producer always has every chunk
+
+    // Access phase: every node fetches the chunk from its cheapest source.
+    for (graph::NodeId j = 0; j < g.num_nodes(); ++j) {
+      if (j == producer) {
+        ce.assignment[static_cast<std::size_t>(j)] = producer;
+        continue;  // the producer holds everything locally
+      }
+      double best = graph::kInfCost;
+      graph::NodeId best_source = graph::kInvalidNode;
+      for (graph::NodeId i : sources) {
+        const double c = contention.cost(i, j);
+        if (c < best || (c == best && i < best_source)) {
+          best = c;
+          best_source = i;
+        }
+      }
+      FAIRCACHE_CHECK(best_source != graph::kInvalidNode,
+                      "no reachable source for chunk");
+      ce.assignment[static_cast<std::size_t>(j)] = best_source;
+      double demand = 1.0;
+      if (options.access_demand != nullptr) {
+        FAIRCACHE_CHECK(static_cast<std::size_t>(chunk) <
+                            options.access_demand->size(),
+                        "demand matrix missing chunk row");
+        demand = (*options.access_demand)[static_cast<std::size_t>(chunk)]
+                                         [static_cast<std::size_t>(j)];
+      }
+      ce.access_cost += demand * best;
+    }
+
+    // Dissemination phase: Steiner tree from the producer to all holders.
+    const steiner::SteinerTree tree =
+        steiner::steiner_mst_approx(g, contention.edge_costs(), sources);
+    ce.dissemination_cost = tree.cost;
+
+    eval.access_cost += ce.access_cost;
+    eval.dissemination_cost += ce.dissemination_cost;
+    eval.per_chunk.push_back(std::move(ce));
+  }
+  return eval;
+}
+
+}  // namespace faircache::metrics

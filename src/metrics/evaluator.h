@@ -1,0 +1,53 @@
+#pragma once
+
+// Placement evaluation: given a final cache state, compute the quantities
+// the paper reports — access-phase contention cost (every node fetches every
+// chunk from its cheapest copy), dissemination-phase contention cost (a
+// Steiner tree from the producer to all holders of each chunk), and their
+// sum, the "total Contention Cost" of Figs. 2–4, 8, 9.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/cache_state.h"
+#include "metrics/contention.h"
+
+namespace faircache::metrics {
+
+struct ChunkEvaluation {
+  ChunkId chunk = 0;
+  double access_cost = 0.0;
+  double dissemination_cost = 0.0;
+  // assignment[j] = node that j fetches this chunk from (may be producer or
+  // j itself).
+  std::vector<graph::NodeId> assignment;
+
+  double total() const { return access_cost + dissemination_cost; }
+};
+
+struct PlacementEvaluation {
+  std::vector<ChunkEvaluation> per_chunk;
+  double access_cost = 0.0;
+  double dissemination_cost = 0.0;
+
+  double total() const { return access_cost + dissemination_cost; }
+};
+
+struct EvaluatorOptions {
+  // Path model used for c_ij (paper: hop-shortest).
+  PathPolicy path_policy = PathPolicy::kHopShortest;
+  // Chunks to evaluate: [0, num_chunks).
+  int num_chunks = 0;
+  // Optional demand matrix demand[chunk][node]: weights each (node, chunk)
+  // fetch in the access cost. nullptr = the paper's uniform model.
+  const std::vector<std::vector<double>>* access_demand = nullptr;
+};
+
+// Evaluates the placement recorded in `state` on graph `g`. Contention costs
+// are computed from the *final* storage state, so every algorithm is scored
+// under identical network conditions (§V-B's comparison methodology).
+PlacementEvaluation evaluate_placement(const graph::Graph& g,
+                                       const CacheState& state,
+                                       const EvaluatorOptions& options);
+
+}  // namespace faircache::metrics

@@ -1,0 +1,82 @@
+#include "metrics/fairness_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace faircache::metrics {
+
+double gini_coefficient(const std::vector<int>& counts) {
+  const std::size_t n = counts.size();
+  FAIRCACHE_CHECK(n > 0, "empty distribution");
+  const long total = std::accumulate(counts.begin(), counts.end(), 0L);
+  if (total == 0) return 0.0;
+
+  // Sort-based O(n log n) formulation: for sorted t_(1) ≤ … ≤ t_(n),
+  // Σ_i Σ_j |t_i − t_j| = 2 Σ_i (2i − n − 1) t_(i)  (1-based i).
+  std::vector<int> sorted = counts;
+  std::sort(sorted.begin(), sorted.end());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - static_cast<double>(n) -
+                 1.0) *
+                static_cast<double>(sorted[i]);
+  }
+  const double abs_diff_sum = 2.0 * weighted;
+  return abs_diff_sum /
+         (2.0 * static_cast<double>(n) * static_cast<double>(total));
+}
+
+int nodes_for_percent(const std::vector<int>& counts, double percent) {
+  FAIRCACHE_CHECK(percent > 0.0 && percent <= 100.0,
+                  "percent must be in (0, 100]");
+  const long total = std::accumulate(counts.begin(), counts.end(), 0L);
+  if (total == 0) return 0;
+
+  std::vector<int> sorted = counts;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double target = static_cast<double>(total) * percent / 100.0;
+  double covered = 0.0;
+  int needed = 0;
+  for (int c : sorted) {
+    if (covered >= target) break;
+    covered += static_cast<double>(c);
+    ++needed;
+  }
+  return needed;
+}
+
+double percentile_fairness(const std::vector<int>& counts, double percent) {
+  FAIRCACHE_CHECK(!counts.empty(), "empty distribution");
+  return static_cast<double>(nodes_for_percent(counts, percent)) /
+         static_cast<double>(counts.size());
+}
+
+std::vector<double> cumulative_load_curve(const std::vector<int>& counts) {
+  std::vector<int> sorted = counts;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const long total = std::accumulate(sorted.begin(), sorted.end(), 0L);
+  std::vector<double> curve(sorted.size(), 0.0);
+  double covered = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    covered += static_cast<double>(sorted[i]);
+    curve[i] = total == 0 ? 0.0 : covered / static_cast<double>(total);
+  }
+  return curve;
+}
+
+double jains_index(const std::vector<int>& counts) {
+  FAIRCACHE_CHECK(!counts.empty(), "empty distribution");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int c : counts) {
+    sum += static_cast<double>(c);
+    sum_sq += static_cast<double>(c) * static_cast<double>(c);
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero: trivially fair
+  return sum * sum / (static_cast<double>(counts.size()) * sum_sq);
+}
+
+}  // namespace faircache::metrics

@@ -1,0 +1,36 @@
+#pragma once
+
+// Fairness statistics reported in the evaluation section: the Gini
+// coefficient of per-node cached-chunk counts (paper Eq. in §V-B, Fig. 7)
+// and p-percentile fairness (Fig. 6), plus the cumulative "nodes needed to
+// store x% of the data" curve.
+
+#include <vector>
+
+namespace faircache::metrics {
+
+// Gini coefficient of the distribution `counts`:
+//   G = Σ_i Σ_j |t_i − t_j| / (2 N Σ_j t_j)
+// 0 = perfectly even, →1 = concentrated on one node. Returns 0 for an
+// all-zero distribution (nothing cached ⇒ trivially even).
+double gini_coefficient(const std::vector<int>& counts);
+
+// p-percentile fairness (paper definition): the *fraction of nodes* needed
+// to cache p% of the total data, packing the most-loaded nodes first.
+// Ideal (uniform load) value is p/100; smaller means less fair.
+// `percent` in (0, 100].
+double percentile_fairness(const std::vector<int>& counts, double percent);
+
+// Minimum number of nodes whose caches cover `percent`% of all stored
+// chunks (most-loaded first) — the y-axis of Fig. 6.
+int nodes_for_percent(const std::vector<int>& counts, double percent);
+
+// Full cumulative curve: entry k = fraction of total data stored on the
+// k+1 most-loaded nodes. Size = number of nodes.
+std::vector<double> cumulative_load_curve(const std::vector<int>& counts);
+
+// Jain's fairness index (Σt)² / (N·Σt²) — a standard alternative fairness
+// measure provided as an extension; 1 = perfectly fair, 1/N = worst.
+double jains_index(const std::vector<int>& counts);
+
+}  // namespace faircache::metrics

@@ -1,0 +1,29 @@
+#include "metrics/latency_model.h"
+
+namespace faircache::metrics {
+
+double hop_delay_us(const graph::Graph& g, const CacheState& state,
+                    graph::NodeId k, const DcfParameters& params) {
+  FAIRCACHE_CHECK(g.contains(k), "node out of range");
+  const double w_k = static_cast<double>(g.degree(k));
+  const double m_k = static_cast<double>(state.used(k));
+  return params.difs_us + m_k * params.slot_us + w_k * params.data_us +
+         m_k * m_k * params.collision_us;
+}
+
+double path_delay_us(const graph::Graph& g, const CacheState& state,
+                     const std::vector<graph::NodeId>& path,
+                     const DcfParameters& params) {
+  double total = 0.0;
+  for (graph::NodeId k : path) total += hop_delay_us(g, state, k, params);
+  return total;
+}
+
+double contention_to_delay_us(double contention_cost, int hop_count,
+                              const DcfParameters& params) {
+  FAIRCACHE_CHECK(hop_count >= 0, "negative hop count");
+  return static_cast<double>(hop_count) * params.difs_us +
+         contention_cost * params.data_us;
+}
+
+}  // namespace faircache::metrics

@@ -1,0 +1,44 @@
+#pragma once
+
+// 802.11 DCF contention-delay estimator (paper §III-C):
+//
+//   d(k, c) = DIFS + m_k·c + w_k·T_d + m_k²·T_c
+//
+// where m_k is the number of back-off slots (≈ S(k), the chunks stored on
+// neighbours contending for the medium), c the back-off slot length, w_k the
+// chunks transmitted in the neighbourhood and T_d / T_c the data / collision
+// durations. The paper shows the per-hop delay is approximately a linear
+// transformation of the contention cost; this model turns abstract
+// contention-cost units into microseconds so examples can report human-
+// readable latency estimates.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/cache_state.h"
+
+namespace faircache::metrics {
+
+struct DcfParameters {
+  double difs_us = 50.0;        // DCF inter-frame space (802.11b DSSS)
+  double slot_us = 20.0;        // back-off slot length c
+  double data_us = 2000.0;      // T_d: one chunk-frame transmission
+  double collision_us = 2000.0; // T_c ≈ T_d (paper's assumption)
+};
+
+// One-hop contention delay at node k.
+double hop_delay_us(const graph::Graph& g, const CacheState& state,
+                    graph::NodeId k, const DcfParameters& params = {});
+
+// End-to-end delay estimate along a node path (sum of per-hop delays of
+// every node on the path, mirroring the path contention cost structure).
+double path_delay_us(const graph::Graph& g, const CacheState& state,
+                     const std::vector<graph::NodeId>& path,
+                     const DcfParameters& params = {});
+
+// Converts an abstract total contention cost into an approximate delay via
+// the paper's linearisation d ≈ DIFS + T_d · contention.
+double contention_to_delay_us(double contention_cost, int hop_count,
+                              const DcfParameters& params = {});
+
+}  // namespace faircache::metrics

@@ -1,0 +1,323 @@
+#include "sim/distributed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/shortest_paths.h"
+#include "metrics/contention.h"
+#include "metrics/fairness.h"
+#include "util/stopwatch.h"
+
+namespace faircache::sim {
+
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+namespace {
+
+enum class NodeStatus { kActive, kInactive, kAdmin };
+
+// Per-node agent state for one chunk's bidding.
+struct Agent {
+  NodeStatus status = NodeStatus::kActive;
+  NodeId data_source = kInvalidNode;  // where to fetch once frozen
+  double fetch_cost = 0.0;  // accumulated contention cost to the source
+  // Best FREEZE offer received so far (accepted once α covers it).
+  NodeId offer_source = kInvalidNode;
+  double offer_cost = kInfCost;
+  double alpha = 0.0;
+  // Keyed by neighbourhood index (parallel to `neighborhood`).
+  std::vector<double> beta;
+  std::vector<double> gamma;
+  std::vector<char> sent_tight;
+  std::vector<char> sent_span;
+  // Facility-side state.
+  std::vector<NodeId> tight_set;  // T: who TIGHT/SPANed me
+  int span_count = 0;
+  double paid = 0.0;  // β payments received toward my fairness cost
+};
+
+}  // namespace
+
+core::FairCachingResult DistributedFairCaching::run(
+    const core::FairCachingProblem& problem) {
+  FAIRCACHE_CHECK(problem.network != nullptr, "problem needs a network");
+  FAIRCACHE_CHECK(config_.hop_limit >= 1, "hop limit must be ≥ 1");
+  FAIRCACHE_CHECK(config_.alpha_step > 0 && config_.beta_step > 0 &&
+                      config_.gamma_step > 0,
+                  "step sizes must be positive");
+
+  const graph::Graph& g = *problem.network;
+  const int n = g.num_nodes();
+  const NodeId producer = problem.producer;
+
+  util::Stopwatch clock;
+  core::FairCachingResult result;
+  result.algorithm = name();
+  result.state = problem.make_initial_state();
+  stats_ = MessageStats{};
+  total_rounds_ = 0;
+
+  // k-hop neighbourhoods are topology-only; compute once.
+  std::vector<std::vector<NodeId>> neighborhood(
+      static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : graph::k_hop_neighborhood(g, v, config_.hop_limit)) {
+      if (w != v) neighborhood[static_cast<std::size_t>(v)].push_back(w);
+    }
+  }
+
+  for (metrics::ChunkId chunk = 0; chunk < problem.num_chunks; ++chunk) {
+    MessageBus bus;
+
+    // --- NPI: the producer floods the network (one copy per node). ---
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != producer) {
+        bus.send({MessageType::kNpi, producer, v, chunk, kInvalidNode, 0.0});
+      }
+    }
+    bus.deliver_round();
+
+    // --- CC: contention collection within k hops. The replies let node j
+    // assemble Con_ij for every neighbourhood member i. We model the
+    // result with the global contention matrix restricted to k-hop pairs,
+    // which is exactly what summing per-node CC replies along the BFS path
+    // yields. ---
+    const metrics::ContentionMatrix contention(
+        g, result.state, config_.instance.path_policy);
+    const std::vector<double> fairness =
+        config_.instance.fairness.costs(result.state);
+    for (NodeId j = 0; j < n; ++j) {
+      for (NodeId i : neighborhood[static_cast<std::size_t>(j)]) {
+        bus.send({MessageType::kCc, j, i, chunk, kInvalidNode, 0.0});
+        bus.send({MessageType::kCcReply, i, j, chunk, i,
+                  contention.cost(i, j)});
+      }
+    }
+    bus.deliver_round();
+
+    auto con = [&](NodeId i, NodeId j) { return contention.cost(i, j); };
+
+    // --- Agent setup. ---
+    std::vector<Agent> agents(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      auto& agent = agents[static_cast<std::size_t>(v)];
+      const std::size_t k =
+          neighborhood[static_cast<std::size_t>(v)].size();
+      agent.beta.assign(k, 0.0);
+      agent.gamma.assign(k, 0.0);
+      agent.sent_tight.assign(k, 0);
+      agent.sent_span.assign(k, 0);
+    }
+    // The producer always has the data: it behaves as a frozen node whose
+    // source is itself.
+    agents[static_cast<std::size_t>(producer)].status =
+        NodeStatus::kInactive;
+    agents[static_cast<std::size_t>(producer)].data_source = producer;
+
+    auto openable = [&](NodeId i) {
+      return i != producer &&
+             fairness[static_cast<std::size_t>(i)] != kInfCost &&
+             result.state.can_cache(i, chunk);
+    };
+
+    // Freeze node j onto `source`, reachable at `cost`. A frozen node
+    // relays FREEZE offers to every bidder in its T set (Algorithm 2,
+    // Receive FREEZE) so the freezing wave keeps moving outward from the
+    // producer; the offer carries the accumulated chain cost, and the
+    // receiver only accepts once its α bid covers it.
+    auto freeze = [&](NodeId j, NodeId source, double cost) {
+      auto& agent = agents[static_cast<std::size_t>(j)];
+      if (agent.status != NodeStatus::kActive) return;
+      agent.status = NodeStatus::kInactive;
+      agent.data_source = source;
+      agent.fetch_cost = cost;
+      for (NodeId t : agent.tight_set) {
+        bus.send({MessageType::kFreeze, j, t, chunk, source,
+                  cost + con(j, t)});
+      }
+    };
+
+    // Record an incoming FREEZE offer; accepted in the bidding loop once
+    // α_j reaches the offered chain cost.
+    auto record_offer = [&](NodeId j, NodeId source, double cost) {
+      auto& agent = agents[static_cast<std::size_t>(j)];
+      if (agent.status != NodeStatus::kActive) return;
+      if (cost < agent.offer_cost) {
+        agent.offer_cost = cost;
+        agent.offer_source = source;
+      }
+    };
+
+    auto make_admin = [&](NodeId i) {
+      auto& agent = agents[static_cast<std::size_t>(i)];
+      agent.status = NodeStatus::kAdmin;
+      agent.data_source = i;
+      for (NodeId j : agent.tight_set) {
+        bus.send({MessageType::kNadmin, i, j, chunk, i, 0.0});
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != i) {
+          bus.send({MessageType::kBadmin, i, v, chunk, i, 0.0});
+        }
+      }
+      // Proactive fetch from the producer happens in the dissemination
+      // phase; the cache slot is claimed now.
+    };
+
+    // --- Bidding rounds. ---
+    int max_rounds = config_.max_rounds;
+    if (max_rounds == 0) {
+      // Any freeze-offer chain is a simple path, so its cost is bounded by
+      // the total contention weight of the network; α crosses that within
+      // W/U_α rounds, plus slack for message latency per wave hop.
+      const std::vector<double> weights =
+          metrics::contention_weights(g, result.state);
+      double total_weight = 1.0;
+      for (double w : weights) total_weight += w;
+      max_rounds = static_cast<int>(std::ceil(
+                       total_weight / config_.alpha_step)) +
+                   3 * n + 8;
+    }
+
+    int round = 0;
+    for (; round < max_rounds; ++round) {
+      // Deliver last round's messages.
+      for (const Message& m : bus.deliver_round()) {
+        auto& agent = agents[static_cast<std::size_t>(m.to)];
+        switch (m.type) {
+          case MessageType::kTight:
+          case MessageType::kSpan: {
+            if (agent.status == NodeStatus::kInactive) {
+              bus.send({MessageType::kFreeze, m.to, m.from, chunk,
+                        agent.data_source,
+                        agent.fetch_cost + con(m.to, m.from)});
+              break;
+            }
+            if (agent.status == NodeStatus::kAdmin) {
+              bus.send({MessageType::kFreeze, m.to, m.from, chunk, m.to,
+                        con(m.to, m.from)});
+              break;
+            }
+            if (std::find(agent.tight_set.begin(), agent.tight_set.end(),
+                          m.from) == agent.tight_set.end()) {
+              agent.tight_set.push_back(m.from);
+            }
+            if (m.type == MessageType::kSpan) {
+              agent.span_count += 1;
+              const bool paid_up =
+                  agent.paid + 1e-12 >=
+                  fairness[static_cast<std::size_t>(m.to)];
+              if (openable(m.to) && paid_up &&
+                  agent.span_count >= config_.span_threshold) {
+                make_admin(m.to);
+              }
+            }
+            break;
+          }
+          case MessageType::kFreeze:
+            record_offer(m.to, m.source, m.value);
+            break;
+          case MessageType::kNadmin:
+            // The admin accepted my SPAN: connect immediately.
+            freeze(m.to, m.source, con(m.source, m.to));
+            break;
+          case MessageType::kBadmin: {
+            // Freeze if my resource bid toward this admin was adequate
+            // (β_j > Con_j in the paper's notation).
+            if (agent.status != NodeStatus::kActive) break;
+            const auto& nbrs = neighborhood[static_cast<std::size_t>(m.to)];
+            const auto pos = std::find(nbrs.begin(), nbrs.end(), m.source);
+            if (pos == nbrs.end()) break;
+            const auto idx =
+                static_cast<std::size_t>(pos - nbrs.begin());
+            if (agent.beta[idx] > con(m.source, m.to)) {
+              freeze(m.to, m.source, con(m.source, m.to));
+            }
+            break;
+          }
+          case MessageType::kNpi:
+          case MessageType::kCc:
+          case MessageType::kCcReply:
+          case MessageType::kCount_:
+            break;  // informational
+        }
+      }
+
+      // Check termination: all nodes frozen (or admin).
+      const bool all_done =
+          std::all_of(agents.begin(), agents.end(), [](const Agent& a) {
+            return a.status != NodeStatus::kActive;
+          }) &&
+          bus.idle();
+      if (all_done) break;
+
+      // Grow bids, accept affordable offers, emit requests.
+      for (NodeId j = 0; j < n; ++j) {
+        auto& agent = agents[static_cast<std::size_t>(j)];
+        if (agent.status != NodeStatus::kActive) continue;
+        agent.alpha += config_.alpha_step;
+        if (agent.alpha + 1e-12 >= agent.offer_cost) {
+          freeze(j, agent.offer_source, agent.offer_cost);
+          continue;
+        }
+        const auto& nbrs = neighborhood[static_cast<std::size_t>(j)];
+        for (std::size_t idx = 0; idx < nbrs.size(); ++idx) {
+          const NodeId i = nbrs[idx];
+          const double cij = con(i, j);
+          if (cij == kInfCost || agent.alpha + 1e-12 < cij) continue;
+          if (!agent.sent_tight[idx]) {
+            agent.sent_tight[idx] = 1;
+            bus.send({MessageType::kTight, j, i, chunk, kInvalidNode, 0.0});
+          }
+          // Payment toward i's fairness cost, then relay bids. The
+          // payment is tracked on the facility side (piggybacked on the
+          // bidding traffic; no extra message type in Table II).
+          auto& facility = agents[static_cast<std::size_t>(i)];
+          const double fi = fairness[static_cast<std::size_t>(i)];
+          if (fi != kInfCost && facility.paid + 1e-12 < fi) {
+            const double pay =
+                std::min(config_.beta_step, fi - facility.paid);
+            agent.beta[idx] += pay;
+            facility.paid += pay;
+          } else {
+            agent.gamma[idx] += config_.gamma_step;
+            if (!agent.sent_span[idx] &&
+                agent.gamma[idx] + 1e-12 >= cij) {
+              agent.sent_span[idx] = 1;
+              bus.send({MessageType::kSpan, j, i, chunk, kInvalidNode,
+                        0.0});
+            }
+          }
+        }
+      }
+    }
+    total_rounds_ += round;
+    FAIRCACHE_CHECK(
+        std::all_of(agents.begin(), agents.end(),
+                    [](const Agent& a) {
+                      return a.status != NodeStatus::kActive;
+                    }),
+        "distributed bidding did not converge within the round budget");
+
+    // --- Harvest: ADMIN nodes cache the chunk. ---
+    core::ChunkPlacement placement;
+    placement.chunk = chunk;
+    placement.solver_rounds = round;
+    for (NodeId v = 0; v < n; ++v) {
+      if (agents[static_cast<std::size_t>(v)].status == NodeStatus::kAdmin &&
+          result.state.can_cache(v, chunk)) {
+        result.state.add(v, chunk);
+        placement.cache_nodes.push_back(v);
+      }
+    }
+    result.placements.push_back(std::move(placement));
+    stats_ += bus.stats();
+  }
+
+  result.runtime_seconds = clock.elapsed_seconds();
+  return result;
+}
+
+}  // namespace faircache::sim

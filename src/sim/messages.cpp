@@ -1,0 +1,29 @@
+#include "sim/messages.h"
+
+namespace faircache::sim {
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kNpi:
+      return "NPI";
+    case MessageType::kCc:
+      return "CC";
+    case MessageType::kCcReply:
+      return "CC-REPLY";
+    case MessageType::kTight:
+      return "TIGHT";
+    case MessageType::kSpan:
+      return "SPAN";
+    case MessageType::kFreeze:
+      return "FREEZE";
+    case MessageType::kNadmin:
+      return "NADMIN";
+    case MessageType::kBadmin:
+      return "BADMIN";
+    case MessageType::kCount_:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace faircache::sim

@@ -1,0 +1,89 @@
+#pragma once
+
+// Message vocabulary of the distributed algorithm (paper Table II) and the
+// message bus that delivers them between node agents in synchronous rounds.
+// Every send is counted per type so the O(QN + N²) message-complexity claim
+// (§IV-D) can be validated empirically.
+
+#include <array>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/cache_state.h"
+
+namespace faircache::sim {
+
+enum class MessageType : int {
+  kNpi = 0,   // new packet info (broadcast)
+  kCc,        // contention collection request (k-hop local)
+  kCcReply,   // contention collection response
+  kTight,     // "can I get data from you?"
+  kSpan,      // "can you fetch data for me?"
+  kFreeze,    // response freezing a bidder onto a source
+  kNadmin,    // new admin announcement to its TIGHT set
+  kBadmin,    // admin broadcast (network-wide)
+  kCount_,
+};
+
+inline constexpr int kNumMessageTypes = static_cast<int>(MessageType::kCount_);
+
+const char* to_string(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kNpi;
+  graph::NodeId from = graph::kInvalidNode;
+  graph::NodeId to = graph::kInvalidNode;
+  metrics::ChunkId chunk = 0;
+  // FREEZE/NADMIN/BADMIN carry the data source node; CC replies carry the
+  // responding node's contention weight.
+  graph::NodeId source = graph::kInvalidNode;
+  double value = 0.0;
+};
+
+struct MessageStats {
+  std::array<long, kNumMessageTypes> sent{};
+
+  long count(MessageType type) const {
+    return sent[static_cast<std::size_t>(type)];
+  }
+  long total() const {
+    long sum = 0;
+    for (long c : sent) sum += c;
+    return sum;
+  }
+  MessageStats& operator+=(const MessageStats& other) {
+    for (int t = 0; t < kNumMessageTypes; ++t) {
+      sent[static_cast<std::size_t>(t)] +=
+          other.sent[static_cast<std::size_t>(t)];
+    }
+    return *this;
+  }
+};
+
+// Synchronous-round message bus: everything sent in round r is delivered at
+// the start of round r+1, in deterministic (send) order.
+class MessageBus {
+ public:
+  void send(const Message& message) {
+    outbox_.push_back(message);
+    ++stats_.sent[static_cast<std::size_t>(message.type)];
+  }
+
+  // Moves this round's outbox into the delivery queue and returns it.
+  std::vector<Message> deliver_round() {
+    std::vector<Message> batch(outbox_.begin(), outbox_.end());
+    outbox_.clear();
+    return batch;
+  }
+
+  bool idle() const { return outbox_.empty(); }
+  const MessageStats& stats() const { return stats_; }
+
+ private:
+  std::deque<Message> outbox_;
+  MessageStats stats_;
+};
+
+}  // namespace faircache::sim

@@ -1,0 +1,137 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/shortest_paths.h"
+
+namespace faircache::sim {
+
+RandomWaypointModel::RandomWaypointModel(MobilityConfig config,
+                                         util::Rng& rng)
+    : config_(config), rng_(rng.fork()) {
+  FAIRCACHE_CHECK(config_.num_nodes >= 1, "need at least one node");
+  FAIRCACHE_CHECK(config_.area > 0 && config_.radius > 0,
+                  "area/radius must be positive");
+  FAIRCACHE_CHECK(
+      0 < config_.min_speed && config_.min_speed <= config_.max_speed,
+      "speed range invalid");
+  const auto n = static_cast<std::size_t>(config_.num_nodes);
+  x_.resize(n);
+  y_.resize(n);
+  wx_.resize(n);
+  wy_.resize(n);
+  speed_.resize(n);
+  pause_.assign(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    x_[v] = rng_.uniform(0.0, config_.area);
+    y_[v] = rng_.uniform(0.0, config_.area);
+    pick_waypoint(v);
+  }
+}
+
+void RandomWaypointModel::pick_waypoint(std::size_t v) {
+  wx_[v] = rng_.uniform(0.0, config_.area);
+  wy_[v] = rng_.uniform(0.0, config_.area);
+  speed_[v] = rng_.uniform(config_.min_speed, config_.max_speed);
+}
+
+void RandomWaypointModel::step(double dt) {
+  FAIRCACHE_CHECK(dt >= 0, "negative time step");
+  time_ += dt;
+  for (std::size_t v = 0; v < x_.size(); ++v) {
+    double remaining = dt;
+    while (remaining > 0) {
+      if (pause_[v] > 0) {
+        const double wait = std::min(pause_[v], remaining);
+        pause_[v] -= wait;
+        remaining -= wait;
+        continue;
+      }
+      const double dx = wx_[v] - x_[v];
+      const double dy = wy_[v] - y_[v];
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      const double travel = speed_[v] * remaining;
+      if (travel >= dist) {
+        // Arrive, pause, and choose a new waypoint.
+        x_[v] = wx_[v];
+        y_[v] = wy_[v];
+        remaining -= speed_[v] > 0 ? dist / speed_[v] : remaining;
+        pause_[v] = config_.pause_time;
+        pick_waypoint(v);
+      } else {
+        x_[v] += dx / dist * travel;
+        y_[v] += dy / dist * travel;
+        remaining = 0;
+      }
+    }
+  }
+}
+
+graph::Graph RandomWaypointModel::topology() const {
+  graph::Graph g(config_.num_nodes);
+  const double r2 = config_.radius * config_.radius;
+  for (graph::NodeId u = 0; u < config_.num_nodes; ++u) {
+    for (graph::NodeId v = u + 1; v < config_.num_nodes; ++v) {
+      const double dx = x_[static_cast<std::size_t>(u)] -
+                        x_[static_cast<std::size_t>(v)];
+      const double dy = y_[static_cast<std::size_t>(u)] -
+                        y_[static_cast<std::size_t>(v)];
+      if (dx * dx + dy * dy <= r2) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+PlacementRobustness evaluate_robustness(const graph::Graph& snapshot,
+                                        const metrics::CacheState& placement,
+                                        int num_chunks) {
+  FAIRCACHE_CHECK(snapshot.num_nodes() == placement.num_nodes(),
+                  "snapshot / placement size mismatch");
+  PlacementRobustness result;
+  long fetches = 0;
+  long reachable = 0;
+  double hop_sum = 0.0;
+
+  for (metrics::ChunkId chunk = 0; chunk < num_chunks; ++chunk) {
+    std::vector<graph::NodeId> sources = placement.holders(chunk);
+    sources.push_back(placement.producer());
+    // Multi-source BFS: distance from the nearest copy.
+    std::vector<int> dist(static_cast<std::size_t>(snapshot.num_nodes()),
+                          graph::kUnreachable);
+    std::vector<graph::NodeId> frontier;
+    for (graph::NodeId s : sources) {
+      dist[static_cast<std::size_t>(s)] = 0;
+      frontier.push_back(s);
+    }
+    std::size_t head = 0;
+    while (head < frontier.size()) {
+      const graph::NodeId v = frontier[head++];
+      for (graph::NodeId w : snapshot.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(w)] == graph::kUnreachable) {
+          dist[static_cast<std::size_t>(w)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          frontier.push_back(w);
+        }
+      }
+    }
+    for (graph::NodeId j = 0; j < snapshot.num_nodes(); ++j) {
+      if (j == placement.producer()) continue;
+      ++fetches;
+      if (dist[static_cast<std::size_t>(j)] != graph::kUnreachable) {
+        ++reachable;
+        hop_sum += dist[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  result.reachable_fraction =
+      fetches == 0 ? 1.0
+                   : static_cast<double>(reachable) /
+                         static_cast<double>(fetches);
+  result.mean_hops = reachable == 0
+                         ? 0.0
+                         : hop_sum / static_cast<double>(reachable);
+  return result;
+}
+
+}  // namespace faircache::sim

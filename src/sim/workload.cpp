@@ -1,0 +1,101 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace faircache::sim {
+
+ZipfDistribution::ZipfDistribution(int n, double exponent)
+    : exponent_(exponent) {
+  FAIRCACHE_CHECK(n >= 1, "need at least one rank");
+  FAIRCACHE_CHECK(exponent >= 0.0, "negative Zipf exponent");
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[static_cast<std::size_t>(k)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+double ZipfDistribution::pmf(int k) const {
+  FAIRCACHE_CHECK(k >= 0 && k < size(), "rank out of range");
+  const double hi = cdf_[static_cast<std::size_t>(k)];
+  const double lo = k == 0 ? 0.0 : cdf_[static_cast<std::size_t>(k - 1)];
+  return hi - lo;
+}
+
+int ZipfDistribution::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+DemandMatrix generate_zipf_demand(const DemandConfig& config,
+                                  util::Rng& rng) {
+  FAIRCACHE_CHECK(config.num_nodes >= 1 && config.num_chunks >= 1,
+                  "demand needs nodes and chunks");
+  FAIRCACHE_CHECK(config.min_activity >= 0 &&
+                      config.min_activity <= config.max_activity,
+                  "activity range invalid");
+
+  const ZipfDistribution zipf(config.num_chunks, config.zipf_exponent);
+
+  // Global popularity ranking: chunk id == rank by default.
+  std::vector<int> global_rank(static_cast<std::size_t>(config.num_chunks));
+  std::iota(global_rank.begin(), global_rank.end(), 0);
+
+  DemandMatrix demand(
+      static_cast<std::size_t>(config.num_chunks),
+      std::vector<double>(static_cast<std::size_t>(config.num_nodes), 0.0));
+  for (graph::NodeId v = 0; v < config.num_nodes; ++v) {
+    const double activity =
+        rng.uniform(config.min_activity, config.max_activity);
+    std::vector<int> rank = global_rank;
+    if (config.per_node_ranking) rng.shuffle(rank);
+    for (int chunk = 0; chunk < config.num_chunks; ++chunk) {
+      demand[static_cast<std::size_t>(chunk)][static_cast<std::size_t>(v)] =
+          activity * zipf.pmf(rank[static_cast<std::size_t>(chunk)]) *
+          static_cast<double>(config.num_chunks);
+    }
+  }
+  return demand;
+}
+
+std::vector<Request> sample_trace(const DemandMatrix& demand, int count,
+                                  util::Rng& rng) {
+  FAIRCACHE_CHECK(count >= 0, "negative trace length");
+  FAIRCACHE_CHECK(!demand.empty() && !demand.front().empty(),
+                  "empty demand matrix");
+
+  // Flatten into a categorical distribution.
+  std::vector<double> cdf;
+  cdf.reserve(demand.size() * demand.front().size());
+  double total = 0.0;
+  for (const auto& row : demand) {
+    for (double d : row) {
+      FAIRCACHE_CHECK(d >= 0, "negative demand");
+      total += d;
+      cdf.push_back(total);
+    }
+  }
+  FAIRCACHE_CHECK(total > 0, "all-zero demand matrix");
+
+  const auto num_nodes = demand.front().size();
+  std::vector<Request> trace;
+  trace.reserve(static_cast<std::size_t>(count));
+  for (int r = 0; r < count; ++r) {
+    const double u = rng.uniform() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto flat = static_cast<std::size_t>(it - cdf.begin());
+    Request request;
+    request.chunk = static_cast<metrics::ChunkId>(flat / num_nodes);
+    request.node = static_cast<graph::NodeId>(flat % num_nodes);
+    trace.push_back(request);
+  }
+  return trace;
+}
+
+}  // namespace faircache::sim

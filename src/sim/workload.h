@@ -1,0 +1,63 @@
+#pragma once
+
+// Workload generation beyond the paper's "every node wants every chunk"
+// assumption: Zipf-distributed chunk popularity (the standard model for
+// content demand — WAVE/MPC and the CCN literature the paper cites all
+// assume it) and per-node demand matrices / request traces built from it.
+
+#include <vector>
+
+#include "metrics/cache_state.h"
+#include "util/rng.h"
+
+namespace faircache::sim {
+
+// Rank-based Zipf distribution over {0, …, n−1}: P(k) ∝ 1/(k+1)^s.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int n, double exponent);
+
+  int size() const { return static_cast<int>(cdf_.size()); }
+  double exponent() const { return exponent_; }
+
+  // Probability of rank k.
+  double pmf(int k) const;
+
+  // Samples a rank.
+  int sample(util::Rng& rng) const;
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;
+};
+
+// demand[chunk][node]: how often each node requests each chunk. Generated
+// as per-node activity (uniform in [min_activity, max_activity]) times the
+// chunk's Zipf popularity; chunk ranks are assigned per node when
+// `per_node_ranking` is true (different nodes favour different chunks) or
+// globally otherwise.
+struct DemandConfig {
+  int num_nodes = 0;
+  int num_chunks = 0;
+  double zipf_exponent = 0.8;
+  double min_activity = 0.5;
+  double max_activity = 1.5;
+  bool per_node_ranking = false;
+};
+
+using DemandMatrix = std::vector<std::vector<double>>;
+
+DemandMatrix generate_zipf_demand(const DemandConfig& config,
+                                  util::Rng& rng);
+
+// A flat request trace sampled from a demand matrix (used by trace-driven
+// caching policies): `count` requests with uniformly random arrival order.
+struct Request {
+  graph::NodeId node = graph::kInvalidNode;
+  metrics::ChunkId chunk = 0;
+};
+
+std::vector<Request> sample_trace(const DemandMatrix& demand, int count,
+                                  util::Rng& rng);
+
+}  // namespace faircache::sim

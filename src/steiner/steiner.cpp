@@ -1,0 +1,244 @@
+#include "steiner/steiner.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <set>
+#include <tuple>
+
+#include "graph/shortest_paths.h"
+
+namespace faircache::steiner {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::kInfCost;
+using graph::kInvalidNode;
+using graph::NodeId;
+
+std::vector<NodeId> SteinerTree::nodes(const Graph& g) const {
+  std::set<NodeId> touched;
+  for (EdgeId e : edges) {
+    touched.insert(g.edge(e).u);
+    touched.insert(g.edge(e).v);
+  }
+  return {touched.begin(), touched.end()};
+}
+
+namespace {
+
+// Kruskal MST over an explicit weighted edge list; returns selected indexes.
+struct DisjointSet {
+  explicit DisjointSet(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent[a] = b;
+    return true;
+  }
+  std::vector<std::size_t> parent;
+};
+
+}  // namespace
+
+SteinerTree steiner_mst_approx(const Graph& g,
+                               const std::vector<double>& edge_weight,
+                               std::vector<NodeId> terminals) {
+  FAIRCACHE_CHECK(static_cast<int>(edge_weight.size()) == g.num_edges(),
+                  "edge weight vector size mismatch");
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  FAIRCACHE_CHECK(!terminals.empty(), "need at least one terminal");
+  for (NodeId t : terminals) {
+    FAIRCACHE_CHECK(g.contains(t), "terminal out of range");
+  }
+
+  SteinerTree result;
+  if (terminals.size() == 1) return result;
+
+  // 1. Shortest-path trees from every terminal.
+  std::vector<graph::EdgeWeightedPaths> trees;
+  trees.reserve(terminals.size());
+  for (NodeId t : terminals) {
+    trees.push_back(graph::dijkstra_edge_weights(g, t, edge_weight));
+  }
+  for (std::size_t a = 0; a < terminals.size(); ++a) {
+    for (std::size_t b = a + 1; b < terminals.size(); ++b) {
+      FAIRCACHE_CHECK(
+          trees[a].cost[static_cast<std::size_t>(terminals[b])] != kInfCost,
+          "terminals are not mutually reachable");
+    }
+  }
+
+  // 2. MST of the terminal metric closure (Kruskal, deterministic order).
+  struct ClosureEdge {
+    double w;
+    std::size_t a, b;
+  };
+  std::vector<ClosureEdge> closure;
+  for (std::size_t a = 0; a < terminals.size(); ++a) {
+    for (std::size_t b = a + 1; b < terminals.size(); ++b) {
+      closure.push_back(
+          {trees[a].cost[static_cast<std::size_t>(terminals[b])], a, b});
+    }
+  }
+  std::stable_sort(closure.begin(), closure.end(),
+                   [](const ClosureEdge& x, const ClosureEdge& y) {
+                     return std::tie(x.w, x.a, x.b) <
+                            std::tie(y.w, y.a, y.b);
+                   });
+  DisjointSet dsu(terminals.size());
+  std::set<EdgeId> union_edges;
+  for (const ClosureEdge& ce : closure) {
+    if (!dsu.unite(ce.a, ce.b)) continue;
+    // 3. Expand the closure edge into real graph edges along the shortest
+    // path from terminal a to terminal b.
+    const auto& tree = trees[ce.a];
+    for (NodeId v = terminals[ce.b]; v != tree.source;
+         v = tree.parent[static_cast<std::size_t>(v)]) {
+      union_edges.insert(tree.parent_edge[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  // 4. MST of the union subgraph (it may contain cycles after expansion).
+  std::vector<EdgeId> candidates(union_edges.begin(), union_edges.end());
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](EdgeId x, EdgeId y) {
+                     const double wx = edge_weight[static_cast<std::size_t>(x)];
+                     const double wy = edge_weight[static_cast<std::size_t>(y)];
+                     return std::tie(wx, x) < std::tie(wy, y);
+                   });
+  DisjointSet node_dsu(static_cast<std::size_t>(g.num_nodes()));
+  std::vector<EdgeId> tree_edges;
+  for (EdgeId e : candidates) {
+    const auto& edge = g.edge(e);
+    if (node_dsu.unite(static_cast<std::size_t>(edge.u),
+                       static_cast<std::size_t>(edge.v))) {
+      tree_edges.push_back(e);
+    }
+  }
+
+  // 5. Prune non-terminal leaves repeatedly.
+  std::vector<char> is_terminal(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId t : terminals) is_terminal[static_cast<std::size_t>(t)] = 1;
+  bool pruned = true;
+  while (pruned) {
+    pruned = false;
+    std::vector<int> tree_degree(static_cast<std::size_t>(g.num_nodes()), 0);
+    for (EdgeId e : tree_edges) {
+      ++tree_degree[static_cast<std::size_t>(g.edge(e).u)];
+      ++tree_degree[static_cast<std::size_t>(g.edge(e).v)];
+    }
+    std::vector<EdgeId> kept;
+    kept.reserve(tree_edges.size());
+    for (EdgeId e : tree_edges) {
+      const auto& edge = g.edge(e);
+      const bool u_leaf =
+          tree_degree[static_cast<std::size_t>(edge.u)] == 1 &&
+          !is_terminal[static_cast<std::size_t>(edge.u)];
+      const bool v_leaf =
+          tree_degree[static_cast<std::size_t>(edge.v)] == 1 &&
+          !is_terminal[static_cast<std::size_t>(edge.v)];
+      if (u_leaf || v_leaf) {
+        pruned = true;
+      } else {
+        kept.push_back(e);
+      }
+    }
+    tree_edges = std::move(kept);
+  }
+
+  std::sort(tree_edges.begin(), tree_edges.end());
+  result.edges = std::move(tree_edges);
+  result.cost = 0.0;
+  for (EdgeId e : result.edges) {
+    result.cost += edge_weight[static_cast<std::size_t>(e)];
+  }
+  return result;
+}
+
+double steiner_exact_dreyfus_wagner(const Graph& g,
+                                    const std::vector<double>& edge_weight,
+                                    std::vector<NodeId> terminals) {
+  FAIRCACHE_CHECK(static_cast<int>(edge_weight.size()) == g.num_edges(),
+                  "edge weight vector size mismatch");
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  FAIRCACHE_CHECK(!terminals.empty(), "need at least one terminal");
+  const std::size_t t = terminals.size();
+  FAIRCACHE_CHECK(t <= 14, "Dreyfus–Wagner limited to 14 terminals");
+  if (t == 1) return 0.0;
+
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const std::size_t full = (std::size_t{1} << t) - 1;
+
+  // dp[mask][v] = min cost of a tree spanning terminals(mask) ∪ {v}.
+  std::vector<std::vector<double>> dp(full + 1,
+                                      std::vector<double>(n, kInfCost));
+  // Pairwise shortest paths seed the singleton masks.
+  for (std::size_t i = 0; i < t; ++i) {
+    const auto paths = graph::dijkstra_edge_weights(
+        g, terminals[i], edge_weight);
+    for (std::size_t v = 0; v < n; ++v) {
+      dp[std::size_t{1} << i][v] = paths.cost[v];
+    }
+  }
+
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // singleton handled above
+    auto& row = dp[mask];
+    // Merge step: split the terminal set at every node.
+    for (std::size_t sub = (mask - 1) & mask; sub != 0;
+         sub = (sub - 1) & mask) {
+      if (sub < (mask ^ sub)) break;  // each split considered once
+      const auto& lhs = dp[sub];
+      const auto& rhs = dp[mask ^ sub];
+      for (std::size_t v = 0; v < n; ++v) {
+        if (lhs[v] == kInfCost || rhs[v] == kInfCost) continue;
+        row[v] = std::min(row[v], lhs[v] + rhs[v]);
+      }
+    }
+    // Relax step: Dijkstra over the dp row.
+    using Entry = std::tuple<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (row[v] != kInfCost) heap.emplace(row[v], static_cast<NodeId>(v));
+    }
+    std::vector<char> settled(n, 0);
+    while (!heap.empty()) {
+      const auto [cost, v] = heap.top();
+      heap.pop();
+      if (settled[static_cast<std::size_t>(v)]) continue;
+      if (cost > row[static_cast<std::size_t>(v)]) continue;
+      settled[static_cast<std::size_t>(v)] = 1;
+      const auto nbrs = g.neighbors(v);
+      const auto incs = g.incident_edges(v);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const auto w = static_cast<std::size_t>(nbrs[k]);
+        const double cand =
+            cost + edge_weight[static_cast<std::size_t>(incs[k])];
+        if (cand < row[w]) {
+          row[w] = cand;
+          heap.emplace(cand, nbrs[k]);
+        }
+      }
+    }
+  }
+
+  return dp[full][static_cast<std::size_t>(terminals[0])];
+}
+
+}  // namespace faircache::steiner

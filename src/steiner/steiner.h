@@ -1,0 +1,46 @@
+#pragma once
+
+// Steiner-tree construction for the dissemination phase: the selected
+// caching nodes of a chunk must form a connected tree rooted at the producer
+// (constraint (6) of the ILP), and the dissemination cost is the sum of the
+// chosen edges' contention costs.
+//
+// Two implementations:
+//  * `steiner_mst_approx` — the classic metric-closure MST construction
+//    (Kou–Markowsky–Berman), a 2-approximation: shortest paths between
+//    terminals → MST of the terminal closure → expand MST edges to real
+//    paths → MST of the union → prune non-terminal leaves. The paper cites
+//    the 1.55-ratio Robins–Zelikovsky algorithm; any constant-factor tree
+//    keeps the ConFL analysis intact, and KMB is the standard practical
+//    choice.
+//  * `steiner_exact_dreyfus_wagner` — exponential-in-|terminals| exact DP,
+//    used as the optimality oracle in tests and by the tiny-instance exact
+//    solver.
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace faircache::steiner {
+
+struct SteinerTree {
+  std::vector<graph::EdgeId> edges;  // tree edges (sorted, unique)
+  double cost = 0.0;                 // sum of edge weights
+
+  // All nodes touched by the tree (sorted, unique).
+  std::vector<graph::NodeId> nodes(const graph::Graph& g) const;
+};
+
+// 2-approximate Steiner tree connecting `terminals` (deduplicated; must be
+// non-empty and mutually reachable). A single terminal yields an empty tree.
+SteinerTree steiner_mst_approx(const graph::Graph& g,
+                               const std::vector<double>& edge_weight,
+                               std::vector<graph::NodeId> terminals);
+
+// Exact minimum Steiner tree cost via the Dreyfus–Wagner dynamic program.
+// Complexity O(3^t · n + 2^t · n²); keep |terminals| small (≤ ~12).
+double steiner_exact_dreyfus_wagner(const graph::Graph& g,
+                                    const std::vector<double>& edge_weight,
+                                    std::vector<graph::NodeId> terminals);
+
+}  // namespace faircache::steiner

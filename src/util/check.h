@@ -1,0 +1,40 @@
+#pragma once
+
+// Lightweight precondition / invariant checking.
+//
+// FAIRCACHE_CHECK is always on (it guards API misuse with a clear message);
+// FAIRCACHE_DCHECK compiles away in NDEBUG builds and guards internal
+// invariants on hot paths.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace faircache::util {
+
+// Thrown when a checked precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace faircache::util
+
+#define FAIRCACHE_CHECK(expr, ...)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::faircache::util::check_failed(#expr, __FILE__, __LINE__,          \
+                                      ::std::string(__VA_ARGS__ ""));     \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define FAIRCACHE_DCHECK(expr, ...) \
+  do {                              \
+  } while (false)
+#else
+#define FAIRCACHE_DCHECK(expr, ...) FAIRCACHE_CHECK(expr, __VA_ARGS__)
+#endif

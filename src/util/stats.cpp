@@ -1,0 +1,54 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace faircache::util {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+double percentile(std::vector<double> values, double p) {
+  FAIRCACHE_CHECK(!values.empty(), "empty sample");
+  FAIRCACHE_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(values.begin(), values.end());
+  if (p == 0.0) return values.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  return values[std::min(values.size() - 1, rank - 1)];
+}
+
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  FAIRCACHE_CHECK(x.size() == y.size(), "sample size mismatch");
+  if (x.size() < 2) return 0.0;
+  const Summary sx = summarize(x);
+  const Summary sy = summarize(y);
+  if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean) * (y[i] - sy.mean);
+  }
+  cov /= static_cast<double>(x.size());
+  return cov / (sx.stddev * sy.stddev);
+}
+
+}  // namespace faircache::util

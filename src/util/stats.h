@@ -1,0 +1,28 @@
+#pragma once
+
+// Small descriptive-statistics helpers shared by the benchmark harness:
+// mean / stddev / percentile / min / max and Pearson correlation (used to
+// validate the contention-cost ↔ latency linearisation claim).
+
+#include <vector>
+
+namespace faircache::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& values);
+
+// p in [0, 100]; nearest-rank method on a sorted copy.
+double percentile(std::vector<double> values, double p);
+
+// Pearson correlation coefficient; 0 if either side has zero variance.
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace faircache::util

@@ -1,0 +1,107 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace faircache::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FAIRCACHE_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+Table::RowBuilder Table::add_row() {
+  rows_.emplace_back();
+  return RowBuilder(*this, rows_.size() - 1);
+}
+
+std::vector<std::string>& Table::RowBuilder::row() {
+  return table_.rows_[row_index_];
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(const std::string& value) {
+  row().push_back(value);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(const char* value) {
+  row().emplace_back(value);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(double value) {
+  row().push_back(table_.format_double(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(int value) {
+  row().push_back(std::to_string(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(long value) {
+  row().push_back(std::to_string(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(unsigned long value) {
+  row().push_back(std::to_string(value));
+  return *this;
+}
+
+std::string Table::format_double(double value) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << value;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cell << ' ';
+    }
+    os << "|\n";
+  };
+
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace faircache::util

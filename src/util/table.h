@@ -1,0 +1,58 @@
+#pragma once
+
+// Fixed-width ASCII table printer used by the benchmark harness to emit the
+// rows/series of each paper figure, plus a CSV mode for downstream plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace faircache::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row builder: accepts strings, integers and doubles.
+  class RowBuilder {
+   public:
+    RowBuilder& operator<<(const std::string& value);
+    RowBuilder& operator<<(const char* value);
+    RowBuilder& operator<<(double value);
+    RowBuilder& operator<<(int value);
+    RowBuilder& operator<<(long value);
+    RowBuilder& operator<<(unsigned long value);
+
+   private:
+    friend class Table;
+    RowBuilder(Table& table, std::size_t row_index)
+        : table_(table), row_index_(row_index) {}
+    std::vector<std::string>& row();
+    Table& table_;
+    std::size_t row_index_;  // index, not reference: safe across add_row
+  };
+
+  RowBuilder add_row();
+
+  // Number of decimals used when formatting doubles (default 3).
+  void set_precision(int digits) { precision_ = digits; }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Pretty fixed-width rendering.
+  void print(std::ostream& os) const;
+  // Machine-readable CSV rendering.
+  void print_csv(std::ostream& os) const;
+
+  std::string to_string() const;
+
+ private:
+  friend class RowBuilder;
+  std::string format_double(double value) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace faircache::util

@@ -1,0 +1,332 @@
+// Tests for the primal–dual ConFL approximation.
+
+#include "confl/confl.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "metrics/cache_state.h"
+#include "metrics/contention.h"
+#include "metrics/fairness.h"
+#include "util/rng.h"
+
+namespace faircache::confl {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Builds a ConFL instance straight from a graph + empty cache state with
+// the paper's cost model.
+ConflInstance make_instance(const Graph& g, NodeId root,
+                            std::vector<double> facility_cost,
+                            double edge_scale = 1.0) {
+  metrics::CacheState state(g.num_nodes(), 5, root);
+  const metrics::ContentionMatrix contention(g, state);
+  ConflInstance instance;
+  instance.network = &g;
+  instance.root = root;
+  instance.facility_cost = std::move(facility_cost);
+  instance.assign_cost = contention.matrix();
+  instance.edge_cost = contention.edge_costs();
+  instance.edge_scale = edge_scale;
+  return instance;
+}
+
+void expect_valid_solution(const ConflInstance& instance,
+                           const ConflSolution& s) {
+  const int n = instance.network->num_nodes();
+  ASSERT_EQ(static_cast<int>(s.assignment.size()), n);
+  for (NodeId j = 0; j < n; ++j) {
+    const NodeId i = s.assignment[static_cast<std::size_t>(j)];
+    ASSERT_NE(i, graph::kInvalidNode);
+    // Assigned facility must be open or the root.
+    const bool is_open =
+        i == instance.root ||
+        std::find(s.open_facilities.begin(), s.open_facilities.end(), i) !=
+            s.open_facilities.end();
+    EXPECT_TRUE(is_open) << "client " << j << " assigned to closed " << i;
+  }
+  for (NodeId i : s.open_facilities) {
+    EXPECT_NE(i, instance.root) << "the producer never caches";
+    EXPECT_NE(instance.facility_cost[static_cast<std::size_t>(i)], kInf)
+        << "infinite-cost facility opened";
+  }
+  // Tree must exist whenever facilities are open.
+  if (!s.open_facilities.empty()) {
+    EXPECT_FALSE(s.tree.edges.empty());
+  } else {
+    EXPECT_TRUE(s.tree.edges.empty());
+  }
+}
+
+TEST(ConflTest, AllFromRootWhenNoFacilityAllowed) {
+  const Graph g = graph::make_grid(3, 3);
+  const NodeId root = 4;
+  ConflInstance instance =
+      make_instance(g, root, std::vector<double>(9, kInf));
+  const ConflSolution s = solve_confl(instance);
+  expect_valid_solution(instance, s);
+  EXPECT_TRUE(s.open_facilities.empty());
+  EXPECT_DOUBLE_EQ(s.facility_cost, 0.0);
+  EXPECT_DOUBLE_EQ(s.tree_cost, 0.0);
+  // Every client served straight from the root.
+  for (NodeId j = 0; j < 9; ++j) {
+    EXPECT_EQ(s.assignment[static_cast<std::size_t>(j)], root);
+  }
+}
+
+TEST(ConflTest, HugeSpanThresholdForcesRootOnly) {
+  const Graph g = graph::make_grid(4, 4);
+  ConflInstance instance =
+      make_instance(g, 0, std::vector<double>(16, 0.0));
+  ConflOptions options;
+  options.span_threshold = 100;  // unreachable
+  const ConflSolution s = solve_confl(instance, options);
+  expect_valid_solution(instance, s);
+  EXPECT_TRUE(s.open_facilities.empty());
+}
+
+TEST(ConflTest, OpensRemoteClusterFacility) {
+  // Long path with the root at one end: distant nodes should be served by
+  // an opened facility rather than hauling everything from the root.
+  const Graph g = graph::make_path(12);
+  ConflInstance instance =
+      make_instance(g, 0, std::vector<double>(12, 0.0));
+  ConflOptions options;
+  options.span_threshold = 2;
+  const ConflSolution s = solve_confl(instance, options);
+  expect_valid_solution(instance, s);
+  ASSERT_FALSE(s.open_facilities.empty());
+  // Some far node must be served by a non-root facility.
+  EXPECT_NE(s.assignment[11], 0);
+}
+
+TEST(ConflTest, AssignmentNeverWorseThanRootDirect) {
+  const Graph g = graph::make_grid(4, 4);
+  ConflInstance instance =
+      make_instance(g, 5, std::vector<double>(16, 0.5));
+  const ConflSolution s = solve_confl(instance);
+  expect_valid_solution(instance, s);
+  for (NodeId j = 0; j < 16; ++j) {
+    const NodeId i = s.assignment[static_cast<std::size_t>(j)];
+    EXPECT_LE(instance.assign_cost[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(j)],
+              instance.assign_cost[5][static_cast<std::size_t>(j)] + 1e-9);
+  }
+}
+
+TEST(ConflTest, DeterministicAcrossRuns) {
+  const Graph g = graph::make_grid(5, 5);
+  ConflInstance instance =
+      make_instance(g, 12, std::vector<double>(25, 0.25));
+  const ConflSolution a = solve_confl(instance);
+  const ConflSolution b = solve_confl(instance);
+  EXPECT_EQ(a.open_facilities, b.open_facilities);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.total(), b.total());
+}
+
+TEST(ConflTest, ExpensiveFacilitiesOpenLess) {
+  const Graph g = graph::make_grid(5, 5);
+  ConflInstance cheap =
+      make_instance(g, 12, std::vector<double>(25, 0.0));
+  ConflInstance expensive =
+      make_instance(g, 12, std::vector<double>(25, 50.0));
+  const auto s_cheap = solve_confl(cheap);
+  const auto s_expensive = solve_confl(expensive);
+  EXPECT_GE(s_cheap.open_facilities.size(),
+            s_expensive.open_facilities.size());
+}
+
+TEST(ConflTest, RoundsBoundedByMaxCostOverStep) {
+  const Graph g = graph::make_grid(4, 4);
+  ConflInstance instance =
+      make_instance(g, 0, std::vector<double>(16, 0.0));
+  ConflOptions options;
+  options.alpha_step = 1.0;
+  const ConflSolution s = solve_confl(instance, options);
+  double worst_to_root = 0.0;
+  for (NodeId j = 0; j < 16; ++j) {
+    worst_to_root = std::max(worst_to_root, instance.assign_cost[0][j]);
+  }
+  EXPECT_LE(s.rounds, static_cast<int>(worst_to_root) + 2);
+}
+
+TEST(ConflTest, SmallerStepNeverHurtsMuch) {
+  // Step-size sensitivity (paper §IV-B discussion): a finer step should
+  // give an objective at least as good up to discretization noise.
+  const Graph g = graph::make_grid(5, 5);
+  ConflInstance instance =
+      make_instance(g, 12, std::vector<double>(25, 1.0));
+  ConflOptions coarse;
+  coarse.alpha_step = 8.0;
+  coarse.beta_step = 8.0;
+  coarse.gamma_step = 8.0;
+  ConflOptions fine;
+  fine.alpha_step = 0.5;
+  fine.beta_step = 0.5;
+  fine.gamma_step = 0.5;
+  const double c = solve_confl(instance, coarse).total();
+  const double f = solve_confl(instance, fine).total();
+  EXPECT_LE(f, c * 1.5 + 1e-9);
+}
+
+TEST(ConflTest, EvaluateObjectiveMatchesSolutionTotals) {
+  const Graph g = graph::make_grid(4, 4);
+  ConflInstance instance =
+      make_instance(g, 3, std::vector<double>(16, 0.75));
+  const ConflSolution s = solve_confl(instance);
+  const double eval = evaluate_confl_objective(
+      instance, s.open_facilities, s.tree_cost);
+  EXPECT_NEAR(eval, s.total(), 1e-9);
+}
+
+TEST(ConflTest, EdgeScaleRaisesTreeCostOnly) {
+  const Graph g = graph::make_path(8);
+  ConflInstance a = make_instance(g, 0, std::vector<double>(8, 0.0), 1.0);
+  ConflInstance b = make_instance(g, 0, std::vector<double>(8, 0.0), 3.0);
+  const ConflSolution sa = solve_confl(a);
+  const ConflSolution sb = solve_confl(b);
+  if (!sa.open_facilities.empty() &&
+      sb.open_facilities == sa.open_facilities) {
+    EXPECT_NEAR(sb.tree_cost, 3.0 * sa.tree_cost, 1e-9);
+  }
+  // With pricier trees, never more facilities open than with cheap trees
+  // is NOT guaranteed by the algorithm (phase 1 ignores tree costs), but
+  // both solutions must be structurally valid.
+  expect_valid_solution(a, sa);
+  expect_valid_solution(b, sb);
+}
+
+// Property sweep: random geometric instances with random facility costs —
+// structural validity plus the trivial upper bound (never worse than
+// serving everyone from the root, because phase 2 reassigns optimally and
+// facilities/tree only exist if phase 1 opened them).
+class ConflRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConflRandomTest, ValidAndBeatsNaiveBound) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ULL +
+                1442695040888963407ULL);
+  graph::RandomGeometricConfig config;
+  config.num_nodes = static_cast<int>(rng.uniform_int(6, 30));
+  config.radius = rng.uniform(0.25, 0.45);
+  const auto net = graph::make_random_geometric(config, rng);
+  const NodeId root = static_cast<NodeId>(
+      rng.bounded(static_cast<std::uint64_t>(net.graph.num_nodes())));
+  std::vector<double> fcost(static_cast<std::size_t>(net.graph.num_nodes()));
+  for (auto& f : fcost) f = rng.bernoulli(0.2) ? kInf : rng.uniform(0.0, 4.0);
+
+  ConflInstance instance = make_instance(net.graph, root, fcost);
+  ConflOptions options;
+  options.span_threshold = static_cast<int>(rng.uniform_int(1, 4));
+  const ConflSolution s = solve_confl(instance, options);
+  expect_valid_solution(instance, s);
+
+  double root_only = 0.0;
+  for (NodeId j = 0; j < net.graph.num_nodes(); ++j) {
+    root_only +=
+        instance.assign_cost[static_cast<std::size_t>(root)]
+                            [static_cast<std::size_t>(j)];
+  }
+  // Assignment cost alone is ≤ root-only cost; facility + tree costs are
+  // the price of the dual growth's choices. Sanity: the total should not
+  // exceed a loose multiple of the naive bound.
+  EXPECT_LE(s.assignment_cost, root_only + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ConflRandomTest,
+                         ::testing::Range(0, 20));
+
+TEST(ConflEventDrivenTest, ValidSolutionOnGrid) {
+  const Graph g = graph::make_grid(5, 5);
+  ConflInstance instance =
+      make_instance(g, 12, std::vector<double>(25, 0.5));
+  ConflOptions options;
+  options.growth = GrowthMode::kEventDriven;
+  const ConflSolution s = solve_confl(instance, options);
+  expect_valid_solution(instance, s);
+}
+
+TEST(ConflEventDrivenTest, MatchesSmallStepLimit) {
+  // Event-driven growth is the U → 0 limit: a very small fixed step must
+  // produce (nearly) the same facility set and objective.
+  const Graph g = graph::make_grid(4, 4);
+  ConflInstance instance =
+      make_instance(g, 5, std::vector<double>(16, 1.5));
+
+  ConflOptions event;
+  event.growth = GrowthMode::kEventDriven;
+  const ConflSolution se = solve_confl(instance, event);
+
+  ConflOptions fine;
+  fine.alpha_step = 1.0 / 64.0;
+  fine.beta_step = 1.0 / 64.0;
+  fine.gamma_step = 4.0 / 64.0;
+  const ConflSolution sf = solve_confl(instance, fine);
+
+  EXPECT_EQ(se.open_facilities, sf.open_facilities);
+  EXPECT_NEAR(se.total(), sf.total(), 1e-6);
+}
+
+TEST(ConflEventDrivenTest, FewerRoundsThanFineFixedStep) {
+  const Graph g = graph::make_grid(5, 5);
+  ConflInstance instance =
+      make_instance(g, 12, std::vector<double>(25, 0.5));
+  ConflOptions event;
+  event.growth = GrowthMode::kEventDriven;
+  ConflOptions fine;
+  fine.alpha_step = 1.0 / 32.0;
+  fine.beta_step = 1.0 / 32.0;
+  fine.gamma_step = 4.0 / 32.0;
+  EXPECT_LT(solve_confl(instance, event).rounds,
+            solve_confl(instance, fine).rounds);
+}
+
+TEST(ConflEventDrivenTest, RootOnlyWithInfiniteFacilities) {
+  const Graph g = graph::make_path(6);
+  ConflInstance instance = make_instance(g, 0, std::vector<double>(6, kInf));
+  ConflOptions options;
+  options.growth = GrowthMode::kEventDriven;
+  const ConflSolution s = solve_confl(instance, options);
+  EXPECT_TRUE(s.open_facilities.empty());
+  for (NodeId j = 0; j < 6; ++j) {
+    EXPECT_EQ(s.assignment[static_cast<std::size_t>(j)], 0);
+  }
+}
+
+// Event-driven vs fixed-step across random instances: same structural
+// validity; objectives within a modest band (discretization effects only).
+class EventDrivenSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventDrivenSweepTest, CloseToFixedStep) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 912367 + 5);
+  graph::RandomGeometricConfig config;
+  config.num_nodes = static_cast<int>(rng.uniform_int(8, 20));
+  config.radius = rng.uniform(0.3, 0.5);
+  const auto net = graph::make_random_geometric(config, rng);
+  const NodeId root = 0;
+  std::vector<double> fcost(static_cast<std::size_t>(net.graph.num_nodes()));
+  for (auto& f : fcost) f = rng.uniform(0.0, 2.0);
+
+  ConflInstance instance = make_instance(net.graph, root, fcost);
+  ConflOptions event;
+  event.growth = GrowthMode::kEventDriven;
+  const ConflSolution se = solve_confl(instance, event);
+  const ConflSolution sf = solve_confl(instance, ConflOptions{});
+  expect_valid_solution(instance, se);
+  expect_valid_solution(instance, sf);
+  EXPECT_LT(se.total(), 2.0 * sf.total() + 1e-9);
+  EXPECT_LT(sf.total(), 2.0 * se.total() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, EventDrivenSweepTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace faircache::confl

@@ -1,0 +1,309 @@
+// Unit tests for the graph substrate: topology container, generators and
+// shortest-path machinery.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "util/rng.h"
+
+namespace faircache::graph {
+namespace {
+
+TEST(GraphTest, AddAndQueryEdges) {
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(2, 1);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.find_edge(1, 0), e0);
+  EXPECT_EQ(g.find_edge(1, 2), e1);
+  EXPECT_EQ(g.edge(e1).u, 1);  // normalized endpoint order
+  EXPECT_EQ(g.edge(e1).v, 2);
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto nbrs = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.degree(2), 3);
+}
+
+TEST(GraphTest, RejectsSelfLoopAndDuplicate) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 1), util::CheckError);
+  EXPECT_THROW(g.add_edge(1, 0), util::CheckError);
+  EXPECT_THROW(g.add_edge(0, 7), util::CheckError);
+}
+
+TEST(GraphTest, EdgeOtherEndpoint) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 2);
+  EXPECT_EQ(g.edge(e).other(0), 2);
+  EXPECT_EQ(g.edge(e).other(2), 0);
+}
+
+TEST(GraphTest, ConnectivityAndComponents) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_FALSE(g.is_connected());
+  const auto labels = g.component_labels();
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[5], labels[0]);
+
+  const auto largest = g.largest_component();
+  EXPECT_EQ(largest, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(GraphTest, InducedSubgraphMapsEdges) {
+  Graph g = make_grid(3, 3);
+  const std::vector<NodeId> keep{0, 1, 2, 4};
+  const Subgraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_nodes(), 4);
+  // Edges inside the kept set: 0-1, 1-2, 1-4.
+  EXPECT_EQ(sub.graph.num_edges(), 3);
+  EXPECT_EQ(sub.to_original.size(), 4u);
+  const NodeId new4 = sub.to_new[4];
+  EXPECT_NE(new4, kInvalidNode);
+  EXPECT_EQ(sub.to_original[static_cast<std::size_t>(new4)], 4);
+  EXPECT_EQ(sub.to_new[5], kInvalidNode);
+}
+
+TEST(GeneratorsTest, GridShape) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  // Grid edges: r(c-1) + c(r-1) = 3*3 + 4*2 = 17.
+  EXPECT_EQ(g.num_edges(), 17);
+  EXPECT_TRUE(g.is_connected());
+  // Corner degree 2, edge degree 3, interior degree 4.
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_EQ(g.degree(5), 4);
+  const GridPosition pos = grid_position(4, 6);
+  EXPECT_EQ(pos.row, 1);
+  EXPECT_EQ(pos.col, 2);
+}
+
+TEST(GeneratorsTest, PathStarRingComplete) {
+  EXPECT_EQ(make_path(5).num_edges(), 4);
+  EXPECT_EQ(make_star(5).num_edges(), 4);
+  EXPECT_EQ(make_star(5).degree(0), 4);
+  EXPECT_EQ(make_ring(5).num_edges(), 5);
+  EXPECT_EQ(make_complete(5).num_edges(), 10);
+}
+
+TEST(GeneratorsTest, RandomGeometricConnected) {
+  util::Rng rng(123);
+  RandomGeometricConfig config;
+  config.num_nodes = 60;
+  config.radius = 0.15;
+  const GeometricNetwork net = make_random_geometric(config, rng);
+  EXPECT_EQ(net.graph.num_nodes(), 60);
+  EXPECT_TRUE(net.graph.is_connected());
+  EXPECT_EQ(net.x.size(), 60u);
+}
+
+TEST(GeneratorsTest, RandomGeometricDeterministic) {
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  RandomGeometricConfig config;
+  config.num_nodes = 30;
+  const auto a = make_random_geometric(config, rng1);
+  const auto b = make_random_geometric(config, rng2);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.x, b.x);
+}
+
+TEST(GeneratorsTest, WattsStrogatzShape) {
+  util::Rng rng(11);
+  const Graph g = make_watts_strogatz(30, 4, 0.2, rng);
+  EXPECT_EQ(g.num_nodes(), 30);
+  EXPECT_TRUE(g.is_connected());
+  // Rewiring never adds edges beyond the lattice count.
+  EXPECT_LE(g.num_edges(), 60);
+  EXPECT_GE(g.num_edges(), 45);  // few rewires collide and get dropped
+}
+
+TEST(GeneratorsTest, WattsStrogatzZeroBetaIsLattice) {
+  util::Rng rng(3);
+  const Graph g = make_watts_strogatz(12, 4, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 24);  // n·k/2
+  for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(GeneratorsTest, WattsStrogatzRejectsOddK) {
+  util::Rng rng(1);
+  EXPECT_THROW(make_watts_strogatz(10, 3, 0.1, rng), util::CheckError);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShape) {
+  util::Rng rng(17);
+  const Graph g = make_barabasi_albert(50, 2, rng);
+  EXPECT_EQ(g.num_nodes(), 50);
+  EXPECT_TRUE(g.is_connected());
+  // Clique(3) edges + 2 per new node.
+  EXPECT_EQ(g.num_edges(), 3 + 2 * 47);
+  // Preferential attachment produces at least one hub.
+  int max_degree = 0;
+  for (NodeId v = 0; v < 50; ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  EXPECT_GE(max_degree, 8);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDeterministic) {
+  util::Rng a(5);
+  util::Rng b(5);
+  const Graph ga = make_barabasi_albert(25, 2, a);
+  const Graph gb = make_barabasi_albert(25, 2, b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (EdgeId e = 0; e < ga.num_edges(); ++e) {
+    EXPECT_EQ(ga.edge(e), gb.edge(e));
+  }
+}
+
+TEST(BfsTest, HopDistancesOnGrid) {
+  const Graph g = make_grid(3, 3);
+  const BfsTree tree = bfs(g, 0);
+  EXPECT_EQ(tree.hops[0], 0);
+  EXPECT_EQ(tree.hops[1], 1);
+  EXPECT_EQ(tree.hops[4], 2);
+  EXPECT_EQ(tree.hops[8], 4);
+}
+
+TEST(BfsTest, PathEndpointsAndLength) {
+  const Graph g = make_grid(3, 3);
+  const auto path = hop_path(g, 0, 8);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 8);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(BfsTest, DeterministicTieBreakSmallestParent) {
+  // In a 3×3 grid there are several shortest 0→4 paths; the smallest-id
+  // parent rule must pick 0-1-4.
+  const Graph g = make_grid(3, 3);
+  EXPECT_EQ(hop_path(g, 0, 4), (std::vector<NodeId>{0, 1, 4}));
+}
+
+TEST(BfsTest, UnreachableNodesEmptyPath) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const BfsTree tree = bfs(g, 0);
+  EXPECT_EQ(tree.hops[2], kUnreachable);
+  EXPECT_TRUE(extract_path(tree, 2).empty());
+}
+
+TEST(KHopTest, NeighborhoodOnGrid) {
+  const Graph g = make_grid(3, 3);
+  EXPECT_EQ(k_hop_neighborhood(g, 4, 0), (std::vector<NodeId>{4}));
+  EXPECT_EQ(k_hop_neighborhood(g, 4, 1),
+            (std::vector<NodeId>{1, 3, 4, 5, 7}));
+  EXPECT_EQ(k_hop_neighborhood(g, 4, 2).size(), 9u);
+}
+
+TEST(DijkstraNodeWeightTest, SelfCostZeroAndPathCost) {
+  // Path 0-1-2 with node weights 1, 10, 2: cost(0→2) = 1 + 10 + 2 = 13.
+  const Graph g = make_path(3);
+  const std::vector<double> w{1.0, 10.0, 2.0};
+  const auto paths = dijkstra_node_weights(g, 0, w);
+  EXPECT_DOUBLE_EQ(paths.cost[0], 0.0);
+  EXPECT_DOUBLE_EQ(paths.cost[1], 11.0);
+  EXPECT_DOUBLE_EQ(paths.cost[2], 13.0);
+}
+
+TEST(DijkstraNodeWeightTest, AvoidsHeavyNode) {
+  // Square 0-1, 0-2, 1-3, 2-3: route 0→3 around the heavy node 1.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const std::vector<double> w{1.0, 100.0, 2.0, 1.0};
+  const auto paths = dijkstra_node_weights(g, 0, w);
+  EXPECT_DOUBLE_EQ(paths.cost[3], 4.0);  // 0(1) + 2(2) + 3(1)
+  EXPECT_EQ(paths.parent[3], 2);
+}
+
+TEST(DijkstraEdgeWeightTest, MatchesFloydWarshall) {
+  util::Rng rng(77);
+  RandomGeometricConfig config;
+  config.num_nodes = 25;
+  config.radius = 0.3;
+  const auto net = make_random_geometric(config, rng);
+  std::vector<double> ew(static_cast<std::size_t>(net.graph.num_edges()));
+  for (auto& w : ew) w = rng.uniform(0.5, 3.0);
+
+  const auto fw = floyd_warshall(net.graph, ew);
+  for (NodeId s = 0; s < net.graph.num_nodes(); s += 5) {
+    const auto dj = dijkstra_edge_weights(net.graph, s, ew);
+    for (NodeId t = 0; t < net.graph.num_nodes(); ++t) {
+      EXPECT_NEAR(dj.cost[static_cast<std::size_t>(t)],
+                  fw[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)],
+                  1e-9);
+    }
+  }
+}
+
+TEST(DijkstraEdgeWeightTest, ParentEdgesFormPath) {
+  const Graph g = make_grid(4, 4);
+  std::vector<double> ew(static_cast<std::size_t>(g.num_edges()), 1.0);
+  const auto dj = dijkstra_edge_weights(g, 0, ew);
+  // Walk back from 15 to 0 via parent edges.
+  NodeId v = 15;
+  double cost = 0.0;
+  while (v != 0) {
+    const EdgeId e = dj.parent_edge[static_cast<std::size_t>(v)];
+    ASSERT_GE(e, 0);
+    cost += ew[static_cast<std::size_t>(e)];
+    v = dj.parent[static_cast<std::size_t>(v)];
+  }
+  EXPECT_DOUBLE_EQ(cost, dj.cost[15]);
+}
+
+// Property sweep over random graphs: BFS hop distance equals Dijkstra with
+// unit edge weights.
+class HopsVsDijkstraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HopsVsDijkstraTest, BfsMatchesUnitDijkstra) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 3);
+  RandomGeometricConfig config;
+  config.num_nodes = static_cast<int>(rng.uniform_int(5, 40));
+  config.radius = rng.uniform(0.2, 0.5);
+  const auto net = make_random_geometric(config, rng);
+  const std::vector<double> unit(
+      static_cast<std::size_t>(net.graph.num_edges()), 1.0);
+  for (NodeId s = 0; s < net.graph.num_nodes(); ++s) {
+    const auto tree = bfs(net.graph, s);
+    const auto dj = dijkstra_edge_weights(net.graph, s, unit);
+    for (NodeId t = 0; t < net.graph.num_nodes(); ++t) {
+      EXPECT_DOUBLE_EQ(static_cast<double>(tree.hops[static_cast<std::size_t>(t)]),
+                       dj.cost[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, HopsVsDijkstraTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace faircache::graph

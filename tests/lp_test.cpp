@@ -1,0 +1,288 @@
+// Unit tests for the dense two-phase simplex solver.
+
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace faircache::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(SimplexTest, TrivialMinimization) {
+  // min x  s.t. x ≥ 3 → x = 3.
+  LpProblem p;
+  const VarId x = p.add_variable();
+  p.add_constraint(LinearExpr().add(x, 1.0), Relation::kGreaterEqual, 3.0);
+  p.set_objective(Sense::kMinimize, LinearExpr().add(x, 1.0));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, kTol);
+  EXPECT_NEAR(s.values[0], 3.0, kTol);
+}
+
+TEST(SimplexTest, TrivialMaximization) {
+  // max 2x + 3y  s.t. x + y ≤ 4, x ≤ 2 → all weight on y: (0,4), obj 12.
+  LpProblem p;
+  const VarId x = p.add_variable(0.0, 2.0);
+  const VarId y = p.add_variable();
+  p.add_constraint(LinearExpr().add(x, 1.0).add(y, 1.0),
+                   Relation::kLessEqual, 4.0);
+  p.set_objective(Sense::kMaximize, LinearExpr().add(x, 2.0).add(y, 3.0));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, kTol);
+  EXPECT_NEAR(s.values[y], 4.0, kTol);
+}
+
+TEST(SimplexTest, ClassicTwoVariable) {
+  // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+  LpProblem p;
+  const VarId x = p.add_variable();
+  const VarId y = p.add_variable();
+  p.add_constraint(LinearExpr().add(x, 1.0), Relation::kLessEqual, 4.0);
+  p.add_constraint(LinearExpr().add(y, 2.0), Relation::kLessEqual, 12.0);
+  p.add_constraint(LinearExpr().add(x, 3.0).add(y, 2.0),
+                   Relation::kLessEqual, 18.0);
+  p.set_objective(Sense::kMaximize, LinearExpr().add(x, 3.0).add(y, 5.0));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, kTol);
+  EXPECT_NEAR(s.values[x], 2.0, kTol);
+  EXPECT_NEAR(s.values[y], 6.0, kTol);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y  s.t. x + y = 5, x − y = 1 → (3, 2), obj 5.
+  LpProblem p;
+  const VarId x = p.add_variable();
+  const VarId y = p.add_variable();
+  p.add_constraint(LinearExpr().add(x, 1.0).add(y, 1.0), Relation::kEqual,
+                   5.0);
+  p.add_constraint(LinearExpr().add(x, 1.0).add(y, -1.0), Relation::kEqual,
+                   1.0);
+  p.set_objective(Sense::kMinimize, LinearExpr().add(x, 1.0).add(y, 1.0));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 3.0, kTol);
+  EXPECT_NEAR(s.values[y], 2.0, kTol);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  LpProblem p;
+  const VarId x = p.add_variable();
+  p.add_constraint(LinearExpr().add(x, 1.0), Relation::kLessEqual, 1.0);
+  p.add_constraint(LinearExpr().add(x, 1.0), Relation::kGreaterEqual, 2.0);
+  p.set_objective(Sense::kMinimize, LinearExpr().add(x, 1.0));
+
+  EXPECT_EQ(SimplexSolver().solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LpProblem p;
+  const VarId x = p.add_variable();
+  p.set_objective(Sense::kMaximize, LinearExpr().add(x, 1.0));
+  EXPECT_EQ(SimplexSolver().solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, FreeVariable) {
+  // min x  with x free and x ≥ −7 via constraint → −7.
+  LpProblem p;
+  const VarId x = p.add_variable(-kInfinity, kInfinity);
+  p.add_constraint(LinearExpr().add(x, 1.0), Relation::kGreaterEqual, -7.0);
+  p.set_objective(Sense::kMinimize, LinearExpr().add(x, 1.0));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -7.0, kTol);
+}
+
+TEST(SimplexTest, NegativeLowerBoundShift) {
+  // min x + y with x ∈ [−5, 5], y ≥ 0, x + y ≥ −2 → x = −5, y = 3.
+  LpProblem p;
+  const VarId x = p.add_variable(-5.0, 5.0);
+  const VarId y = p.add_variable();
+  p.add_constraint(LinearExpr().add(x, 1.0).add(y, 1.0),
+                   Relation::kGreaterEqual, -2.0);
+  p.set_objective(Sense::kMinimize, LinearExpr().add(x, 1.0).add(y, 1.0));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.0, kTol);  // any point with x + y = −2
+  EXPECT_TRUE(p.is_feasible(s.values, 1e-6));
+  EXPECT_GE(s.values[x], -5.0 - kTol);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // −x ≤ −3 (i.e. x ≥ 3), min x → 3.
+  LpProblem p;
+  const VarId x = p.add_variable();
+  p.add_constraint(LinearExpr().add(x, -1.0), Relation::kLessEqual, -3.0);
+  p.set_objective(Sense::kMinimize, LinearExpr().add(x, 1.0));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, kTol);
+}
+
+TEST(SimplexTest, KleeMintyTerminates) {
+  // Klee–Minty cube: worst case for Dantzig pricing; the Bland fallback
+  // must still terminate with the optimum 5^n.
+  LpProblem p;
+  const int n = 6;
+  std::vector<VarId> x;
+  for (int i = 0; i < n; ++i) x.push_back(p.add_variable());
+  for (int i = 0; i < n; ++i) {
+    LinearExpr row;
+    for (int j = 0; j < i; ++j) {
+      row.add(x[static_cast<std::size_t>(j)], 2.0 * std::pow(10.0, i - j));
+    }
+    row.add(x[static_cast<std::size_t>(i)], 1.0);
+    p.add_constraint(std::move(row), Relation::kLessEqual,
+                     std::pow(100.0, i));
+  }
+  LinearExpr obj;
+  for (int j = 0; j < n; ++j) {
+    obj.add(x[static_cast<std::size_t>(j)], std::pow(10.0, n - 1 - j));
+  }
+  p.set_objective(Sense::kMaximize, std::move(obj));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, std::pow(100.0, n - 1), 1e-3);
+}
+
+TEST(SimplexTest, DuplicateTermsAreAccumulated) {
+  // min x with (x + x) ≥ 6 → x = 3.
+  LpProblem p;
+  const VarId x = p.add_variable();
+  p.add_constraint(LinearExpr().add(x, 1.0).add(x, 1.0),
+                   Relation::kGreaterEqual, 6.0);
+  p.set_objective(Sense::kMinimize, LinearExpr().add(x, 1.0));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 3.0, kTol);
+}
+
+TEST(SimplexTest, ShiftedBoundsObjectiveOffset) {
+  // min x with x ∈ [2, 9] — offset handling through the shift.
+  LpProblem p;
+  const VarId x = p.add_variable(2.0, 9.0);
+  p.set_objective(Sense::kMinimize, LinearExpr().add(x, 1.0));
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+  EXPECT_NEAR(s.values[x], 2.0, kTol);
+}
+
+// Property test: on random feasible-by-construction LPs, the simplex result
+// must (a) be feasible, (b) match its own reported objective, and (c)
+// weakly dominate a sample of random feasible points.
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomTest, DominatesRandomFeasiblePoints) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int n = static_cast<int>(rng.uniform_int(2, 6));
+  const int m = static_cast<int>(rng.uniform_int(2, 8));
+
+  // Random interior point that will be feasible by construction.
+  std::vector<double> interior;
+  for (int i = 0; i < n; ++i) interior.push_back(rng.uniform(0.0, 5.0));
+
+  LpProblem p;
+  for (int i = 0; i < n; ++i) p.add_variable(0.0, 10.0);
+  for (int r = 0; r < m; ++r) {
+    LinearExpr expr;
+    double lhs_at_interior = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double a = rng.uniform(-2.0, 2.0);
+      expr.add(i, a);
+      lhs_at_interior += a * interior[static_cast<std::size_t>(i)];
+    }
+    p.add_constraint(std::move(expr), Relation::kLessEqual,
+                     lhs_at_interior + rng.uniform(0.1, 3.0));
+  }
+  LinearExpr obj;
+  for (int i = 0; i < n; ++i) obj.add(i, rng.uniform(-1.0, 1.0));
+  p.set_objective(Sense::kMinimize, std::move(obj));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(p.is_feasible(s.values, 1e-5));
+  EXPECT_NEAR(s.objective, p.objective_value(s.values), 1e-5);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> q(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const double t = rng.uniform();
+      q[static_cast<std::size_t>(i)] =
+          interior[static_cast<std::size_t>(i)] * t +
+          rng.uniform(0.0, 10.0) * (1 - t);
+    }
+    if (!p.is_feasible(q, 0.0)) continue;
+    EXPECT_LE(s.objective, p.objective_value(q) + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexRandomTest,
+                         ::testing::Range(0, 25));
+
+// Stress sweep: larger random LPs with mixed relation types. The solved
+// point must be feasible, match its reported objective, and dominate many
+// random feasible points.
+class SimplexStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexStressTest, LargerMixedRelationLps) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709 + 23);
+  const int n = static_cast<int>(rng.uniform_int(10, 25));
+  const int m = static_cast<int>(rng.uniform_int(10, 30));
+
+  std::vector<double> interior;
+  for (int i = 0; i < n; ++i) interior.push_back(rng.uniform(1.0, 4.0));
+
+  LpProblem p;
+  for (int i = 0; i < n; ++i) p.add_variable(0.0, 8.0);
+  for (int r = 0; r < m; ++r) {
+    LinearExpr expr;
+    double lhs = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (!rng.bernoulli(0.4)) continue;  // sparse rows
+      const double a = rng.uniform(-2.0, 2.0);
+      expr.add(i, a);
+      lhs += a * interior[static_cast<std::size_t>(i)];
+    }
+    if (expr.empty()) continue;
+    const double slack = rng.uniform(0.2, 2.0);
+    // ≤ with headroom above, ≥ with headroom below: interior stays valid.
+    if (rng.bernoulli(0.5)) {
+      p.add_constraint(std::move(expr), Relation::kLessEqual, lhs + slack);
+    } else {
+      p.add_constraint(std::move(expr), Relation::kGreaterEqual,
+                       lhs - slack);
+    }
+  }
+  LinearExpr obj;
+  for (int i = 0; i < n; ++i) obj.add(i, rng.uniform(-1.0, 1.0));
+  p.set_objective(Sense::kMinimize, std::move(obj));
+
+  const LpSolution s = SimplexSolver().solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(p.is_feasible(s.values, 1e-5));
+  EXPECT_NEAR(s.objective, p.objective_value(s.values), 1e-5);
+  EXPECT_LE(s.objective, p.objective_value(interior) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(StressLps, SimplexStressTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace faircache::lp

@@ -1,0 +1,156 @@
+// Unit + property tests for Steiner tree construction: the KMB
+// 2-approximation against the exact Dreyfus–Wagner oracle.
+
+#include "steiner/steiner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace faircache::steiner {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::make_grid;
+using graph::NodeId;
+
+std::vector<double> unit_weights(const Graph& g) {
+  return std::vector<double>(static_cast<std::size_t>(g.num_edges()), 1.0);
+}
+
+// Verifies the returned edge set is a tree spanning all terminals.
+void expect_valid_tree(const Graph& g, const SteinerTree& tree,
+                       const std::vector<NodeId>& terminals) {
+  // Build the tree subgraph and check connectivity over terminals + acyclic.
+  std::set<NodeId> nodes;
+  for (EdgeId e : tree.edges) {
+    nodes.insert(g.edge(e).u);
+    nodes.insert(g.edge(e).v);
+  }
+  for (NodeId t : terminals) {
+    if (terminals.size() > 1) {
+      EXPECT_TRUE(nodes.count(t)) << "terminal " << t << " not in tree";
+    }
+  }
+  // A tree with k nodes has k−1 edges.
+  if (!tree.edges.empty()) {
+    EXPECT_EQ(nodes.size(), tree.edges.size() + 1);
+  }
+}
+
+TEST(SteinerApproxTest, SingleTerminalEmptyTree) {
+  const Graph g = make_grid(3, 3);
+  const auto tree = steiner_mst_approx(g, unit_weights(g), {4});
+  EXPECT_TRUE(tree.edges.empty());
+  EXPECT_DOUBLE_EQ(tree.cost, 0.0);
+}
+
+TEST(SteinerApproxTest, TwoTerminalsIsShortestPath) {
+  const Graph g = make_grid(3, 3);
+  const auto tree = steiner_mst_approx(g, unit_weights(g), {0, 8});
+  EXPECT_DOUBLE_EQ(tree.cost, 4.0);  // 4 hops across the grid
+  expect_valid_tree(g, tree, {0, 8});
+}
+
+TEST(SteinerApproxTest, DuplicateTerminalsDeduplicated) {
+  const Graph g = make_grid(3, 3);
+  const auto tree = steiner_mst_approx(g, unit_weights(g), {0, 8, 0, 8});
+  EXPECT_DOUBLE_EQ(tree.cost, 4.0);
+}
+
+TEST(SteinerApproxTest, CornersOfGridUseSteinerNodes) {
+  // All four corners of a 3×3 grid: optimum is 6 (e.g. the boundary "C"
+  // 2-0-6 plus 6-8 uses two corners as Steiner points), and the tree must
+  // touch intermediate non-terminal nodes.
+  const Graph g = make_grid(3, 3);
+  const std::vector<NodeId> corners{0, 2, 6, 8};
+  const auto tree = steiner_mst_approx(g, unit_weights(g), corners);
+  expect_valid_tree(g, tree, corners);
+  EXPECT_GE(tree.cost, 6.0 - 1e-9);
+  EXPECT_LE(tree.cost, 2.0 * 6.0 + 1e-9);  // 2-approx bound
+}
+
+TEST(SteinerApproxTest, WeightedAvoidsExpensiveEdges) {
+  // Triangle 0-1-2 plus path 0-3-2; direct edge 0-2 very expensive.
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  const EdgeId e02 = g.add_edge(0, 2);
+  const EdgeId e03 = g.add_edge(0, 3);
+  const EdgeId e32 = g.add_edge(3, 2);
+  std::vector<double> w(5, 0.0);
+  w[static_cast<std::size_t>(e01)] = 5.0;
+  w[static_cast<std::size_t>(e12)] = 5.0;
+  w[static_cast<std::size_t>(e02)] = 100.0;
+  w[static_cast<std::size_t>(e03)] = 1.0;
+  w[static_cast<std::size_t>(e32)] = 1.0;
+  const auto tree = steiner_mst_approx(g, w, {0, 2});
+  EXPECT_DOUBLE_EQ(tree.cost, 2.0);  // through node 3
+}
+
+TEST(SteinerApproxTest, DisconnectedTerminalsRejected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_THROW(
+      steiner_mst_approx(g, unit_weights(g), {0, 3}),
+      util::CheckError);
+}
+
+TEST(SteinerExactTest, MatchesKnownGridInstances) {
+  const Graph g = make_grid(3, 3);
+  const auto w = unit_weights(g);
+  EXPECT_DOUBLE_EQ(steiner_exact_dreyfus_wagner(g, w, {0}), 0.0);
+  EXPECT_DOUBLE_EQ(steiner_exact_dreyfus_wagner(g, w, {0, 8}), 4.0);
+  EXPECT_DOUBLE_EQ(steiner_exact_dreyfus_wagner(g, w, {0, 2, 6, 8}), 6.0);
+  // Center plus two adjacent corners: 0-1-2 plus 1-4.
+  EXPECT_DOUBLE_EQ(steiner_exact_dreyfus_wagner(g, w, {0, 2, 4}), 3.0);
+}
+
+TEST(SteinerExactTest, StarCenterIsFreeSteinerPoint) {
+  // Star: terminals are 3 leaves; optimum connects through the hub = 3.
+  const Graph g = graph::make_star(5);
+  const auto w = unit_weights(g);
+  EXPECT_DOUBLE_EQ(steiner_exact_dreyfus_wagner(g, w, {1, 2, 3}), 3.0);
+}
+
+// Property sweep: on random weighted graphs, approx is within 2× of exact
+// and never below it; the approx tree is structurally valid.
+class SteinerRatioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteinerRatioTest, ApproxWithinTwiceExact) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 48271 + 1);
+  graph::RandomGeometricConfig config;
+  config.num_nodes = static_cast<int>(rng.uniform_int(8, 24));
+  config.radius = rng.uniform(0.3, 0.5);
+  const auto net = graph::make_random_geometric(config, rng);
+  std::vector<double> w(static_cast<std::size_t>(net.graph.num_edges()));
+  for (auto& x : w) x = rng.uniform(0.5, 4.0);
+
+  const int k = static_cast<int>(
+      rng.uniform_int(2, std::min(6, net.graph.num_nodes())));
+  std::vector<NodeId> all(static_cast<std::size_t>(net.graph.num_nodes()));
+  for (NodeId v = 0; v < net.graph.num_nodes(); ++v) {
+    all[static_cast<std::size_t>(v)] = v;
+  }
+  rng.shuffle(all);
+  std::vector<NodeId> terminals(all.begin(), all.begin() + k);
+
+  const auto approx = steiner_mst_approx(net.graph, w, terminals);
+  const double exact =
+      steiner_exact_dreyfus_wagner(net.graph, w, terminals);
+
+  expect_valid_tree(net.graph, approx, terminals);
+  EXPECT_GE(approx.cost, exact - 1e-6);
+  EXPECT_LE(approx.cost, 2.0 * exact + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SteinerRatioTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace faircache::steiner

@@ -1,0 +1,181 @@
+// Unit tests for util: RNG determinism/statistics, table printer, checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace faircache::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedOneAlwaysZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.bounded(1), 0u);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 2000 draws
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // mean of U(0,1)
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  // Child should not replay the parent's stream.
+  Rng parent2(9);
+  parent2.fork();
+  EXPECT_EQ(child.next(), Rng(9).fork().next());  // deterministic fork
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(TableTest, RendersHeadersAndRows) {
+  Table t({"algo", "cost"});
+  t.add_row() << "appx" << 12.5;
+  t.add_row() << "dist" << 13.0;
+  const std::string rendered = t.to_string();
+  EXPECT_NE(rendered.find("algo"), std::string::npos);
+  EXPECT_NE(rendered.find("appx"), std::string::npos);
+  EXPECT_NE(rendered.find("12.500"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, PrecisionControlsDoubleFormat) {
+  Table t({"x"});
+  t.set_precision(1);
+  t.add_row() << 2.71828;
+  EXPECT_NE(t.to_string().find("2.7"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("2.71"), std::string::npos);
+}
+
+TEST(TableTest, InterleavedRowBuildersStayValid) {
+  // Regression: builders index into the table rather than holding a
+  // reference, so holding one across further add_row calls is safe even
+  // when the row vector reallocates.
+  Table t({"a"});
+  auto first = t.add_row();
+  for (int i = 0; i < 64; ++i) t.add_row() << i;  // force reallocation
+  first << "first";
+  const std::string rendered = t.to_string();
+  EXPECT_NE(rendered.find("first"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 65u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row() << 1 << "x";
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n");
+}
+
+TEST(StatsTest, SummaryBasics) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(StatsTest, EmptySummary) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, PercentileNearestRank) {
+  const std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, z), -1.0, 1e-12);
+  const std::vector<double> flat{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, flat), 0.0);
+}
+
+TEST(CheckTest, ThrowsWithMessage) {
+  try {
+    FAIRCACHE_CHECK(1 == 2, "math is broken");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(FAIRCACHE_CHECK(true));
+}
+
+}  // namespace
+}  // namespace faircache::util
