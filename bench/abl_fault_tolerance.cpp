@@ -1,0 +1,81 @@
+// Ablation — graceful degradation of the distributed algorithm on an
+// unreliable network (docs/FAULTS.md). Sweeps the message loss rate with
+// and without node churn and reports, against the fault-free run: coverage
+// of the surviving nodes, total contention cost, the residual cost ratio,
+// and the reliability-layer effort (retransmissions, watchdog and repair
+// interventions).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/faults.h"
+
+using namespace faircache;
+
+namespace {
+
+sim::FaultPlan churn_plan(sim::FaultPlan plan) {
+  // One transient outage early in the run and one permanent casualty once
+  // the first chunks have been placed.
+  plan.crashes.push_back({21, 8, 60});
+  plan.crashes.push_back({12, 25, -1});
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation — fault tolerance (6x6 grid, Q = 5, capacity = 5, "
+               "producer = 9)\n"
+               "Degradation vs. the fault-free run; churn = one transient "
+               "outage + one\npermanent crash (node 12).\n\n";
+
+  const graph::Graph g = graph::make_grid(6, 6);
+  const auto problem = bench::grid_problem(g, /*producer=*/9, 5, 5);
+
+  sim::DistributedFairCaching baseline;
+  const auto base_result = baseline.run(problem);
+  const auto base_eval = base_result.evaluate(problem);
+
+  util::Table table({"loss", "churn", "coverage", "total", "residual",
+                     "forced", "repaired", "rtx", "dropped", "rounds"});
+  table.set_precision(3);
+
+  for (const double loss : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}) {
+    for (const bool churn : {false, true}) {
+      sim::FaultPlan plan;
+      plan.seed = 0xfa417;
+      plan.drop_rate = loss;
+      plan.delay_rate = loss / 2.0;
+      plan.max_delay_rounds = 3;
+      plan.duplicate_rate = loss / 4.0;
+      plan.reorder = loss > 0.0;
+      if (churn) plan = churn_plan(plan);
+
+      sim::DistributedConfig config;
+      config.faults = plan;
+      sim::DistributedFairCaching dist(config);
+      const auto result = dist.run(problem);
+      const auto eval = result.evaluate(problem);
+      const auto report = metrics::make_degradation_report(
+          result.coverage(), eval, base_eval);
+      const auto& stats = dist.message_stats();
+
+      table.add_row() << loss << (churn ? "yes" : "no") << report.coverage
+                      << report.degraded_cost << report.residual_cost_ratio
+                      << stats.forced_freezes << stats.repaired_sources
+                      << stats.retransmits << stats.dropped
+                      << dist.total_rounds();
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nfault-free reference: total = " << base_eval.total()
+            << ", messages = " << baseline.message_stats().total()
+            << ", rounds = " << baseline.total_rounds() << "\n"
+            << "Coverage stays 1.0 for survivors at every loss rate: ACK + "
+               "retransmission\nrecovers lost control messages, the "
+               "watchdog freezes stragglers onto the\nproducer, and crash "
+               "repair re-points clients of dead admins.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Unreliable edge — runs the distributed algorithm (Algorithm 2) over a
+// lossy multi-hop network with node churn and prints how gracefully the
+// placement degrades versus the fault-free run: coverage of the surviving
+// nodes, residual contention cost, and what the self-healing layer (ACK +
+// retransmission, termination watchdog, crash repair) had to do.
+//
+// Build & run:  ./build/examples/unreliable_edge
+
+#include <iostream>
+
+#include "graph/generators.h"
+#include "sim/distributed.h"
+#include "sim/faults.h"
+#include "util/table.h"
+
+int main() {
+  using namespace faircache;
+
+  const graph::Graph network = graph::make_grid(6, 6);
+
+  core::FairCachingProblem problem;
+  problem.network = &network;
+  problem.producer = 9;
+  problem.num_chunks = 5;
+  problem.uniform_capacity = 5;
+
+  // Fault-free reference run.
+  sim::DistributedFairCaching baseline;
+  const core::FairCachingResult base = baseline.run(problem);
+  const auto base_eval = base.evaluate(problem);
+
+  // A rough festival Wi-Fi: 15% loss, occasional duplicates, delays and
+  // reordering, one phone rebooting and one leaving for good.
+  sim::FaultPlan plan;
+  plan.seed = 2017;
+  plan.drop_rate = 0.15;
+  plan.duplicate_rate = 0.05;
+  plan.delay_rate = 0.1;
+  plan.max_delay_rounds = 3;
+  plan.reorder = true;
+  plan.crashes.push_back({21, 10, 50});  // reboots
+  plan.crashes.push_back({12, 30, -1});  // walks away
+
+  sim::DistributedConfig config;
+  config.faults = plan;
+  sim::DistributedFairCaching dist(config);
+  const core::FairCachingResult result = dist.run(problem);
+  const auto eval = result.evaluate(problem);
+  const auto report =
+      metrics::make_degradation_report(result.coverage(), eval, base_eval);
+
+  std::cout << "Distributed fair caching on a 6x6 grid under 15% loss + "
+               "churn\n(node 21 reboots, node 12 crashes for good)\n\n";
+  for (const auto& placement : result.placements) {
+    std::cout << "chunk " << placement.chunk << ": "
+              << placement.solver_rounds << " rounds, surviving caches:";
+    for (graph::NodeId v : placement.cache_nodes) std::cout << ' ' << v;
+    std::cout << '\n';
+  }
+
+  const sim::MessageStats& stats = dist.message_stats();
+  std::cout << "\nDegradation vs. fault-free run:\n";
+  util::Table table({"metric", "value"});
+  table.set_precision(3);
+  table.add_row() << "coverage (survivors)" << report.coverage;
+  table.add_row() << "fault-free cost" << report.baseline_cost;
+  table.add_row() << "degraded cost" << report.degraded_cost;
+  table.add_row() << "residual cost ratio" << report.residual_cost_ratio;
+  table.add_row() << "messages (Table II)" << stats.total();
+  table.add_row() << "ACKs" << stats.acks;
+  table.add_row() << "retransmissions" << stats.retransmits;
+  table.add_row() << "dropped / crash-dropped"
+                  << (stats.dropped + stats.crash_dropped);
+  table.add_row() << "duplicates suppressed" << stats.deduplicated;
+  table.add_row() << "watchdog force-freezes" << stats.forced_freezes;
+  table.add_row() << "sources repaired" << stats.repaired_sources;
+  table.print(std::cout);
+
+  std::cout << "\nEvery surviving node still has a live source for every "
+               "chunk (coverage = "
+            << report.coverage << ").\n";
+  return 0;
+}

@@ -45,6 +45,11 @@ struct ChunkPlacement {
   std::vector<graph::NodeId> cache_nodes;  // sorted
   double solver_objective = 0.0;  // the algorithm's internal objective
   int solver_rounds = 0;          // dual-growth rounds (0 if n/a)
+  // assignment[j] = node that j fetches this chunk from according to the
+  // algorithm's own protocol (kInvalidNode = unassigned). Empty when the
+  // algorithm does not track per-node sources; the evaluator's
+  // cheapest-copy assignment is then the only notion of "source".
+  std::vector<graph::NodeId> assignment;
 };
 
 // Output of a caching algorithm run.
@@ -53,8 +58,38 @@ struct FairCachingResult {
   metrics::CacheState state;  // final storage state
   std::vector<ChunkPlacement> placements;
   double runtime_seconds = 0.0;
+  // Liveness at the end of the run when the algorithm executed under node
+  // churn (sim::FaultPlan crashes). Empty = every node survived.
+  std::vector<char> alive;
 
-  // Scores the final placement with the shared evaluator.
+  bool node_alive(graph::NodeId v) const {
+    return alive.empty() || alive[static_cast<std::size_t>(v)] != 0;
+  }
+
+  // Degradation metric: the fraction of (surviving node, chunk) pairs for
+  // which the protocol assigned a data source. A fault-free run — and any
+  // faulty run after the self-healing repair passes — reports 1.0.
+  // Algorithms that don't record assignments report full coverage.
+  double coverage() const {
+    const graph::NodeId producer = state.producer();
+    long pairs = 0;
+    long covered = 0;
+    for (const ChunkPlacement& placement : placements) {
+      if (placement.assignment.empty()) continue;
+      for (std::size_t j = 0; j < placement.assignment.size(); ++j) {
+        const auto v = static_cast<graph::NodeId>(j);
+        if (v == producer || !node_alive(v)) continue;
+        ++pairs;
+        if (placement.assignment[j] != graph::kInvalidNode) ++covered;
+      }
+    }
+    return pairs == 0 ? 1.0
+                      : static_cast<double>(covered) /
+                            static_cast<double>(pairs);
+  }
+
+  // Scores the final placement with the shared evaluator. Casualties are
+  // excluded both as consumers and as sources.
   metrics::PlacementEvaluation evaluate(
       const FairCachingProblem& problem,
       metrics::PathPolicy policy =
@@ -62,6 +97,7 @@ struct FairCachingResult {
     metrics::EvaluatorOptions options;
     options.num_chunks = problem.num_chunks;
     options.path_policy = policy;
+    options.alive = alive.empty() ? nullptr : &alive;
     return metrics::evaluate_placement(*problem.network, state, options);
   }
 };

@@ -24,11 +24,23 @@ PlacementEvaluation evaluate_placement(const graph::Graph& g,
     ce.assignment.assign(static_cast<std::size_t>(g.num_nodes()),
                          graph::kInvalidNode);
 
-    std::vector<graph::NodeId> sources = state.holders(chunk);
+    std::vector<graph::NodeId> sources;
+    for (graph::NodeId i : state.holders(chunk)) {
+      // Dead holders (fault-injection runs) cannot serve.
+      if (options.alive != nullptr &&
+          (*options.alive)[static_cast<std::size_t>(i)] == 0) {
+        continue;
+      }
+      sources.push_back(i);
+    }
     sources.push_back(producer);  // producer always has every chunk
 
     // Access phase: every node fetches the chunk from its cheapest source.
     for (graph::NodeId j = 0; j < g.num_nodes(); ++j) {
+      if (options.alive != nullptr &&
+          (*options.alive)[static_cast<std::size_t>(j)] == 0) {
+        continue;  // casualties consume nothing
+      }
       if (j == producer) {
         ce.assignment[static_cast<std::size_t>(j)] = producer;
         continue;  // the producer holds everything locally
@@ -66,6 +78,21 @@ PlacementEvaluation evaluate_placement(const graph::Graph& g,
     eval.per_chunk.push_back(std::move(ce));
   }
   return eval;
+}
+
+DegradationReport make_degradation_report(double coverage,
+                                          const PlacementEvaluation& degraded,
+                                          const PlacementEvaluation& baseline) {
+  DegradationReport report;
+  report.coverage = coverage;
+  report.baseline_cost = baseline.total();
+  report.degraded_cost = degraded.total();
+  report.extra_cost = report.degraded_cost - report.baseline_cost;
+  report.residual_cost_ratio =
+      report.baseline_cost > 0.0
+          ? report.degraded_cost / report.baseline_cost
+          : 1.0;
+  return report;
 }
 
 }  // namespace faircache::metrics

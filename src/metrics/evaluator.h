@@ -41,6 +41,10 @@ struct EvaluatorOptions {
   // Optional demand matrix demand[chunk][node]: weights each (node, chunk)
   // fetch in the access cost. nullptr = the paper's uniform model.
   const std::vector<std::vector<double>>* access_demand = nullptr;
+  // Optional liveness mask (fault-injection runs): dead nodes neither
+  // fetch chunks nor serve as sources or Steiner terminals. nullptr = all
+  // nodes alive.
+  const std::vector<char>* alive = nullptr;
 };
 
 // Evaluates the placement recorded in `state` on graph `g`. Contention costs
@@ -49,5 +53,21 @@ struct EvaluatorOptions {
 PlacementEvaluation evaluate_placement(const graph::Graph& g,
                                        const CacheState& state,
                                        const EvaluatorOptions& options);
+
+// Graceful-degradation summary of a faulty run against its fault-free twin
+// (same problem, same algorithm, no FaultPlan). `coverage` is the protocol
+// level metric (core::FairCachingResult::coverage()); the cost fields come
+// from the two evaluations.
+struct DegradationReport {
+  double coverage = 1.0;             // (surviving node, chunk) pairs served
+  double baseline_cost = 0.0;        // fault-free total contention cost
+  double degraded_cost = 0.0;        // faulty-run total contention cost
+  double residual_cost_ratio = 1.0;  // degraded / baseline (1.0 = no loss)
+  double extra_cost = 0.0;           // degraded − baseline
+};
+
+DegradationReport make_degradation_report(double coverage,
+                                          const PlacementEvaluation& degraded,
+                                          const PlacementEvaluation& baseline);
 
 }  // namespace faircache::metrics

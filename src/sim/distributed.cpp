@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <unordered_set>
 
 #include "graph/shortest_paths.h"
 #include "metrics/contention.h"
@@ -38,6 +41,23 @@ struct Agent {
   double paid = 0.0;  // β payments received toward my fairness cost
 };
 
+// Control messages that must survive loss: losing one would strand a
+// bidder (FREEZE/NADMIN), hide an opening (BADMIN) or starve the ADMIN
+// election (SPAN). TIGHT/CC/NPI losses only slow bidding down and are
+// absorbed by the watchdog.
+bool needs_ack(MessageType type) {
+  return type == MessageType::kFreeze || type == MessageType::kNadmin ||
+         type == MessageType::kBadmin || type == MessageType::kSpan;
+}
+
+// A reliable message awaiting its ACK.
+struct PendingSend {
+  Message msg;
+  int next_resend = 0;
+  int backoff = 0;
+  int attempts = 1;
+};
+
 }  // namespace
 
 core::FairCachingResult DistributedFairCaching::run(
@@ -59,6 +79,20 @@ core::FairCachingResult DistributedFairCaching::run(
   stats_ = MessageStats{};
   total_rounds_ = 0;
 
+  // Optional unreliable network. One channel spans the whole run so that
+  // CrashEvent rounds index global bus rounds across chunks.
+  std::unique_ptr<FaultyChannel> channel;
+  if (config_.faults.has_value()) {
+    channel = std::make_unique<FaultyChannel>(*config_.faults, n);
+    const ReliabilityConfig& rel = config_.reliability;
+    FAIRCACHE_CHECK(rel.ack_timeout_rounds >= 3,
+                    "RTO below the 2-round ACK RTT would retransmit "
+                    "spuriously");
+    FAIRCACHE_CHECK(rel.max_attempts >= 1 && rel.max_backoff_rounds >=
+                        rel.ack_timeout_rounds,
+                    "invalid reliability configuration");
+  }
+
   // k-hop neighbourhoods are topology-only; compute once.
   std::vector<std::vector<NodeId>> neighborhood(
       static_cast<std::size_t>(n));
@@ -67,35 +101,85 @@ core::FairCachingResult DistributedFairCaching::run(
       if (w != v) neighborhood[static_cast<std::size_t>(v)].push_back(w);
     }
   }
+  auto nbr_index = [&](NodeId j, NodeId i) -> std::size_t {
+    const auto& nbrs = neighborhood[static_cast<std::size_t>(j)];
+    const auto pos = std::find(nbrs.begin(), nbrs.end(), i);
+    return pos == nbrs.end() ? nbrs.size()
+                             : static_cast<std::size_t>(pos - nbrs.begin());
+  };
 
   for (metrics::ChunkId chunk = 0; chunk < problem.num_chunks; ++chunk) {
-    MessageBus bus;
+    MessageBus bus(channel.get());
 
-    // --- NPI: the producer floods the network (one copy per node). ---
+    // --- NPI: the producer floods the network (one copy per node). A node
+    // that misses its copy learns of the chunk lazily from the first
+    // protocol message that reaches it (overhearing). ---
     for (NodeId v = 0; v < n; ++v) {
       if (v != producer) {
         bus.send({MessageType::kNpi, producer, v, chunk, kInvalidNode, 0.0});
       }
     }
-    bus.deliver_round();
+    std::vector<char> heard_npi(static_cast<std::size_t>(n), 1);
+    if (channel) {
+      heard_npi.assign(static_cast<std::size_t>(n), 0);
+      heard_npi[static_cast<std::size_t>(producer)] = 1;
+      for (const Message& m : bus.deliver_round()) {
+        if (m.type == MessageType::kNpi) {
+          heard_npi[static_cast<std::size_t>(m.to)] = 1;
+        }
+      }
+    } else {
+      bus.deliver_round();
+    }
 
     // --- CC: contention collection within k hops. The replies let node j
-    // assemble Con_ij for every neighbourhood member i. We model the
-    // result with the global contention matrix restricted to k-hop pairs,
-    // which is exactly what summing per-node CC replies along the BFS path
-    // yields. ---
+    // assemble Con_ij for every neighbourhood member i; j only ever bids
+    // toward members whose reply actually arrived. On the reliable path
+    // every reply arrives and the local view equals the global contention
+    // matrix restricted to k-hop pairs (summing per-node CC replies along
+    // the BFS path yields exactly that). ---
     const metrics::ContentionMatrix contention(
         g, result.state, config_.instance.path_policy);
     const std::vector<double> fairness =
         config_.instance.fairness.costs(result.state);
+
+    // known[j][idx] = Con_ij learned from i's CC reply (∞ until heard).
+    std::vector<std::vector<double>> known(static_cast<std::size_t>(n));
     for (NodeId j = 0; j < n; ++j) {
-      for (NodeId i : neighborhood[static_cast<std::size_t>(j)]) {
-        bus.send({MessageType::kCc, j, i, chunk, kInvalidNode, 0.0});
-        bus.send({MessageType::kCcReply, i, j, chunk, i,
-                  contention.cost(i, j)});
+      known[static_cast<std::size_t>(j)].assign(
+          neighborhood[static_cast<std::size_t>(j)].size(), kInfCost);
+    }
+    std::vector<Message> cc_batch;
+    if (!channel) {
+      for (NodeId j = 0; j < n; ++j) {
+        for (NodeId i : neighborhood[static_cast<std::size_t>(j)]) {
+          bus.send({MessageType::kCc, j, i, chunk, kInvalidNode, 0.0});
+          bus.send({MessageType::kCcReply, i, j, chunk, i,
+                    contention.cost(i, j)});
+        }
+      }
+      cc_batch = bus.deliver_round();
+    } else {
+      for (NodeId j = 0; j < n; ++j) {
+        if (!heard_npi[static_cast<std::size_t>(j)]) continue;
+        for (NodeId i : neighborhood[static_cast<std::size_t>(j)]) {
+          bus.send({MessageType::kCc, j, i, chunk, kInvalidNode, 0.0});
+        }
+      }
+      for (const Message& m : bus.deliver_round()) {
+        if (m.type != MessageType::kCc) continue;
+        bus.send({MessageType::kCcReply, m.to, m.from, chunk, m.to,
+                  contention.cost(m.to, m.from)});
+      }
+      cc_batch = bus.deliver_round();
+    }
+    for (const Message& m : cc_batch) {
+      if (m.type != MessageType::kCcReply) continue;
+      const std::size_t idx = nbr_index(m.to, m.from);
+      if (idx < known[static_cast<std::size_t>(m.to)].size()) {
+        known[static_cast<std::size_t>(m.to)][idx] = m.value;
       }
     }
-    bus.deliver_round();
 
     auto con = [&](NodeId i, NodeId j) { return contention.cost(i, j); };
 
@@ -122,6 +206,27 @@ core::FairCachingResult DistributedFairCaching::run(
              result.state.can_cache(i, chunk);
     };
 
+    // --- Reliable transport (channel path only): every FREEZE / NADMIN /
+    // BADMIN / SPAN carries a sequence number, is ACKed by the receiver,
+    // deduplicated by seq, and retransmitted with exponential backoff
+    // until acknowledged or out of attempts. ---
+    std::map<long, PendingSend> pending;  // ordered: deterministic resends
+    std::unordered_set<long> seen;
+    long next_seq = 0;
+    int round = 0;
+    auto post = [&](Message m) {
+      if (channel && needs_ack(m.type)) {
+        m.seq = next_seq++;
+        PendingSend p;
+        p.msg = m;
+        p.backoff = config_.reliability.ack_timeout_rounds;
+        p.next_resend = round + p.backoff;
+        p.attempts = 1;
+        pending.emplace(m.seq, p);
+      }
+      bus.send(m);
+    };
+
     // Freeze node j onto `source`, reachable at `cost`. A frozen node
     // relays FREEZE offers to every bidder in its T set (Algorithm 2,
     // Receive FREEZE) so the freezing wave keeps moving outward from the
@@ -134,8 +239,7 @@ core::FairCachingResult DistributedFairCaching::run(
       agent.data_source = source;
       agent.fetch_cost = cost;
       for (NodeId t : agent.tight_set) {
-        bus.send({MessageType::kFreeze, j, t, chunk, source,
-                  cost + con(j, t)});
+        post({MessageType::kFreeze, j, t, chunk, source, cost + con(j, t)});
       }
     };
 
@@ -155,11 +259,11 @@ core::FairCachingResult DistributedFairCaching::run(
       agent.status = NodeStatus::kAdmin;
       agent.data_source = i;
       for (NodeId j : agent.tight_set) {
-        bus.send({MessageType::kNadmin, i, j, chunk, i, 0.0});
+        post({MessageType::kNadmin, i, j, chunk, i, 0.0});
       }
       for (NodeId v = 0; v < n; ++v) {
         if (v != i) {
-          bus.send({MessageType::kBadmin, i, v, chunk, i, 0.0});
+          post({MessageType::kBadmin, i, v, chunk, i, 0.0});
         }
       }
       // Proactive fetch from the producer happens in the dissemination
@@ -181,23 +285,43 @@ core::FairCachingResult DistributedFairCaching::run(
                    3 * n + 8;
     }
 
-    int round = 0;
     for (; round < max_rounds; ++round) {
       // Deliver last round's messages.
       for (const Message& m : bus.deliver_round()) {
+        if (m.ack) {
+          pending.erase(m.seq);
+          continue;
+        }
+        if (m.seq >= 0) {
+          // ACK every reliable delivery (the previous ACK may have been
+          // lost), then suppress duplicates.
+          Message a;
+          a.type = m.type;
+          a.from = m.to;
+          a.to = m.from;
+          a.chunk = m.chunk;
+          a.seq = m.seq;
+          a.ack = true;
+          bus.send(a);
+          if (!seen.insert(m.seq).second) {
+            ++stats_.deduplicated;
+            continue;
+          }
+        }
+        heard_npi[static_cast<std::size_t>(m.to)] = 1;
         auto& agent = agents[static_cast<std::size_t>(m.to)];
         switch (m.type) {
           case MessageType::kTight:
           case MessageType::kSpan: {
             if (agent.status == NodeStatus::kInactive) {
-              bus.send({MessageType::kFreeze, m.to, m.from, chunk,
-                        agent.data_source,
-                        agent.fetch_cost + con(m.to, m.from)});
+              post({MessageType::kFreeze, m.to, m.from, chunk,
+                    agent.data_source,
+                    agent.fetch_cost + con(m.to, m.from)});
               break;
             }
             if (agent.status == NodeStatus::kAdmin) {
-              bus.send({MessageType::kFreeze, m.to, m.from, chunk, m.to,
-                        con(m.to, m.from)});
+              post({MessageType::kFreeze, m.to, m.from, chunk, m.to,
+                    con(m.to, m.from)});
               break;
             }
             if (std::find(agent.tight_set.begin(), agent.tight_set.end(),
@@ -219,21 +343,23 @@ core::FairCachingResult DistributedFairCaching::run(
           case MessageType::kFreeze:
             record_offer(m.to, m.source, m.value);
             break;
-          case MessageType::kNadmin:
+          case MessageType::kNadmin: {
             // The admin accepted my SPAN: connect immediately.
-            freeze(m.to, m.source, con(m.source, m.to));
+            const std::size_t idx = nbr_index(m.to, m.source);
+            const auto& costs = known[static_cast<std::size_t>(m.to)];
+            freeze(m.to, m.source,
+                   idx < costs.size() ? costs[idx] : con(m.source, m.to));
             break;
+          }
           case MessageType::kBadmin: {
             // Freeze if my resource bid toward this admin was adequate
             // (β_j > Con_j in the paper's notation).
             if (agent.status != NodeStatus::kActive) break;
-            const auto& nbrs = neighborhood[static_cast<std::size_t>(m.to)];
-            const auto pos = std::find(nbrs.begin(), nbrs.end(), m.source);
-            if (pos == nbrs.end()) break;
-            const auto idx =
-                static_cast<std::size_t>(pos - nbrs.begin());
-            if (agent.beta[idx] > con(m.source, m.to)) {
-              freeze(m.to, m.source, con(m.source, m.to));
+            const std::size_t idx = nbr_index(m.to, m.source);
+            if (idx >= agent.beta.size()) break;
+            const double cij = known[static_cast<std::size_t>(m.to)][idx];
+            if (cij != kInfCost && agent.beta[idx] > cij) {
+              freeze(m.to, m.source, cij);
             }
             break;
           }
@@ -245,27 +371,62 @@ core::FairCachingResult DistributedFairCaching::run(
         }
       }
 
-      // Check termination: all nodes frozen (or admin).
-      const bool all_done =
-          std::all_of(agents.begin(), agents.end(), [](const Agent& a) {
-            return a.status != NodeStatus::kActive;
-          }) &&
-          bus.idle();
+      // Retransmit reliable messages whose ACK timed out; give up after
+      // max_attempts (the watchdog and crash repair cover the remainder).
+      if (channel) {
+        const ReliabilityConfig& rel = config_.reliability;
+        for (auto it = pending.begin(); it != pending.end();) {
+          PendingSend& p = it->second;
+          if (round >= p.next_resend) {
+            if (p.attempts >= rel.max_attempts) {
+              it = pending.erase(it);
+              continue;
+            }
+            // A crashed sender cannot retransmit; it resumes on restart.
+            if (channel->alive(p.msg.from)) {
+              bus.resend(p.msg);
+              ++p.attempts;
+              p.backoff = std::min(2 * p.backoff, rel.max_backoff_rounds);
+            }
+            p.next_resend = round + p.backoff;
+          }
+          ++it;
+        }
+      }
+
+      // Check termination: all live nodes frozen (or admin) and no
+      // application message still in flight. Crashed nodes don't block
+      // termination — if they restart later they are repaired onto the
+      // producer.
+      bool everyone_settled = true;
+      for (NodeId v = 0; v < n && everyone_settled; ++v) {
+        if (agents[static_cast<std::size_t>(v)].status ==
+                NodeStatus::kActive &&
+            (!channel || channel->alive(v))) {
+          everyone_settled = false;
+        }
+      }
+      const bool all_done = everyone_settled && bus.app_idle();
       if (all_done) break;
 
       // Grow bids, accept affordable offers, emit requests.
       for (NodeId j = 0; j < n; ++j) {
         auto& agent = agents[static_cast<std::size_t>(j)];
         if (agent.status != NodeStatus::kActive) continue;
+        if (channel &&
+            (!channel->alive(j) || !heard_npi[static_cast<std::size_t>(j)])) {
+          continue;  // down, or hasn't heard of the chunk yet
+        }
         agent.alpha += config_.alpha_step;
         if (agent.alpha + 1e-12 >= agent.offer_cost) {
           freeze(j, agent.offer_source, agent.offer_cost);
           continue;
         }
         const auto& nbrs = neighborhood[static_cast<std::size_t>(j)];
+        const auto& costs = known[static_cast<std::size_t>(j)];
         for (std::size_t idx = 0; idx < nbrs.size(); ++idx) {
           const NodeId i = nbrs[idx];
-          const double cij = con(i, j);
+          const double cij = costs[idx];
           if (cij == kInfCost || agent.alpha + 1e-12 < cij) continue;
           if (!agent.sent_tight[idx]) {
             agent.sent_tight[idx] = 1;
@@ -286,34 +447,118 @@ core::FairCachingResult DistributedFairCaching::run(
             if (!agent.sent_span[idx] &&
                 agent.gamma[idx] + 1e-12 >= cij) {
               agent.sent_span[idx] = 1;
-              bus.send({MessageType::kSpan, j, i, chunk, kInvalidNode,
-                        0.0});
+              post({MessageType::kSpan, j, i, chunk, kInvalidNode, 0.0});
             }
           }
         }
       }
     }
     total_rounds_ += round;
-    FAIRCACHE_CHECK(
-        std::all_of(agents.begin(), agents.end(),
-                    [](const Agent& a) {
-                      return a.status != NodeStatus::kActive;
-                    }),
-        "distributed bidding did not converge within the round budget");
 
-    // --- Harvest: ADMIN nodes cache the chunk. ---
+    if (channel) {
+      // Termination watchdog: any live node still bidding at the round
+      // bound is force-frozen onto the producer, so the protocol always
+      // terminates with every survivor assigned a source.
+      for (NodeId v = 0; v < n; ++v) {
+        auto& agent = agents[static_cast<std::size_t>(v)];
+        if (agent.status == NodeStatus::kActive && channel->alive(v)) {
+          agent.status = NodeStatus::kInactive;
+          agent.data_source = producer;
+          agent.fetch_cost = con(producer, v);
+          ++stats_.forced_freezes;
+        }
+      }
+    } else {
+      FAIRCACHE_CHECK(
+          std::all_of(agents.begin(), agents.end(),
+                      [](const Agent& a) {
+                        return a.status != NodeStatus::kActive;
+                      }),
+          "distributed bidding did not converge within the round budget");
+    }
+
+    // --- Harvest: ADMIN nodes cache the chunk. An admin that is down at
+    // harvest time never completed its proactive fetch and caches
+    // nothing. ---
     core::ChunkPlacement placement;
     placement.chunk = chunk;
     placement.solver_rounds = round;
     for (NodeId v = 0; v < n; ++v) {
       if (agents[static_cast<std::size_t>(v)].status == NodeStatus::kAdmin &&
           result.state.can_cache(v, chunk)) {
+        if (channel && !channel->alive(v)) continue;
         result.state.add(v, chunk);
         placement.cache_nodes.push_back(v);
       }
     }
+
+    // Record who each node would fetch from; repair sources that point at
+    // a casualty (ADMIN-failure recovery: fall back to the best FREEZE
+    // offer, else the producer).
+    placement.assignment.assign(static_cast<std::size_t>(n), kInvalidNode);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& agent = agents[static_cast<std::size_t>(v)];
+      if (v == producer) {
+        placement.assignment[static_cast<std::size_t>(v)] = producer;
+        continue;
+      }
+      NodeId src = agent.data_source;
+      if (channel) {
+        auto usable = [&](NodeId s) {
+          return s == producer ||
+                 (s != kInvalidNode && channel->alive(s) &&
+                  result.state.holds(s, chunk));
+        };
+        if (!usable(src)) {
+          const bool had_source = src != kInvalidNode;
+          src = usable(agent.offer_source) ? agent.offer_source : producer;
+          if (had_source) ++stats_.repaired_sources;
+        }
+      }
+      placement.assignment[static_cast<std::size_t>(v)] = src;
+    }
     result.placements.push_back(std::move(placement));
     stats_ += bus.stats();
+    if (channel) channel->flush();  // stale traffic never crosses chunks
+  }
+
+  if (channel) {
+    // Final repair against the end-of-run liveness mask: data on nodes
+    // that are down now is gone, and every surviving node whose source
+    // died falls back to the producer.
+    result.alive = channel->alive_mask();
+    for (NodeId v = 0; v < n; ++v) {
+      if (result.alive[static_cast<std::size_t>(v)]) continue;
+      const std::vector<metrics::ChunkId> lost = result.state.chunks_on(v);
+      for (metrics::ChunkId c : lost) result.state.remove(v, c);
+    }
+    for (auto& placement : result.placements) {
+      auto& nodes = placement.cache_nodes;
+      nodes.erase(std::remove_if(nodes.begin(), nodes.end(),
+                                 [&](NodeId v) {
+                                   return !result.alive
+                                       [static_cast<std::size_t>(v)];
+                                 }),
+                  nodes.end());
+      for (NodeId v = 0; v < n; ++v) {
+        auto& src = placement.assignment[static_cast<std::size_t>(v)];
+        if (!result.alive[static_cast<std::size_t>(v)]) {
+          src = kInvalidNode;  // casualties consume nothing
+          continue;
+        }
+        if (v == producer) continue;
+        const bool ok =
+            src == producer ||
+            (src != kInvalidNode &&
+             result.alive[static_cast<std::size_t>(src)] &&
+             result.state.holds(src, placement.chunk));
+        if (!ok) {
+          src = producer;
+          ++stats_.repaired_sources;
+        }
+      }
+    }
+    stats_ += channel->stats();
   }
 
   result.runtime_seconds = clock.elapsed_seconds();

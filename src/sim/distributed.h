@@ -22,9 +22,21 @@
 //   5. INACTIVE (frozen) nodes and the producer answer TIGHT with
 //      FREEZE(source), which is how freezing waves propagate outward from
 //      the producer and guarantee termination.
+//
+// Setting DistributedConfig::faults runs the whole exchange over a
+// sim::FaultyChannel and arms the self-healing layer (docs/FAULTS.md):
+// per-message ACK + retransmission with exponential backoff for the
+// critical control messages, a bounded-round watchdog that force-freezes
+// stragglers onto the producer, and crash repair that re-points every
+// surviving node at a live source. With an all-zero FaultPlan the results
+// (placements, costs, Table II message counts) are bit-identical to the
+// fault-free path.
+
+#include <optional>
 
 #include "core/instance_builder.h"
 #include "core/problem.h"
+#include "sim/faults.h"
 #include "sim/messages.h"
 
 namespace faircache::sim {
@@ -37,6 +49,10 @@ struct DistributedConfig {
   int span_threshold = 3;   // M SPAN requests to become ADMIN
   int max_rounds = 0;       // 0 = automatic bound
   core::InstanceOptions instance;  // fairness model, path policy
+  // Fault injection: when set (even to an all-zero plan) every message
+  // crosses a FaultyChannel and the reliability layer is enabled.
+  std::optional<FaultPlan> faults;
+  ReliabilityConfig reliability;
 };
 
 class DistributedFairCaching : public core::CachingAlgorithm {
@@ -48,7 +64,8 @@ class DistributedFairCaching : public core::CachingAlgorithm {
 
   core::FairCachingResult run(const core::FairCachingProblem& problem) override;
 
-  // Message traffic of the last run, aggregated over all chunks.
+  // Message traffic of the last run, aggregated over all chunks. Includes
+  // the reliability/fault counters when a FaultPlan was configured.
   const MessageStats& message_stats() const { return stats_; }
   // Bidding rounds executed in the last run (sum over chunks).
   int total_rounds() const { return total_rounds_; }

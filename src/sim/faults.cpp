@@ -1,0 +1,118 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace faircache::sim {
+
+FaultyChannel::FaultyChannel(FaultPlan plan, int num_nodes)
+    : plan_(std::move(plan)), num_nodes_(num_nodes), rng_(plan_.seed) {
+  FAIRCACHE_CHECK(num_nodes_ > 0, "channel needs a positive node count");
+  FAIRCACHE_CHECK(plan_.drop_rate >= 0.0 && plan_.drop_rate <= 1.0,
+                  "drop rate must be a probability");
+  FAIRCACHE_CHECK(plan_.duplicate_rate >= 0.0 && plan_.duplicate_rate <= 1.0,
+                  "duplicate rate must be a probability");
+  FAIRCACHE_CHECK(plan_.delay_rate >= 0.0 && plan_.delay_rate <= 1.0,
+                  "delay rate must be a probability");
+  FAIRCACHE_CHECK(plan_.delay_rate == 0.0 || plan_.max_delay_rounds >= 1,
+                  "delayed messages must be late by at least one round");
+  for (const CrashEvent& c : plan_.crashes) {
+    FAIRCACHE_CHECK(c.node >= 0 && c.node < num_nodes_,
+                    "crash event names an unknown node");
+    FAIRCACHE_CHECK(c.restart_round < 0 || c.restart_round > c.crash_round,
+                    "restart must come after the crash");
+  }
+}
+
+bool FaultyChannel::alive_at(graph::NodeId v, int round) const {
+  for (const CrashEvent& c : plan_.crashes) {
+    if (c.node != v) continue;
+    if (round >= c.crash_round &&
+        (c.restart_round < 0 || round < c.restart_round)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FaultyChannel::alive(graph::NodeId v) const {
+  return alive_at(v, round_);
+}
+
+std::vector<char> FaultyChannel::alive_mask() const {
+  std::vector<char> mask(static_cast<std::size_t>(num_nodes_), 1);
+  for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+    mask[static_cast<std::size_t>(v)] = alive(v) ? 1 : 0;
+  }
+  return mask;
+}
+
+long FaultyChannel::app_in_flight() const {
+  long count = 0;
+  for (const Delayed& d : delayed_) {
+    if (!d.message.ack) ++count;
+  }
+  return count;
+}
+
+void FaultyChannel::flush() {
+  for (const Delayed& d : delayed_) {
+    if (!d.message.ack) ++stats_.dropped;
+  }
+  delayed_.clear();
+}
+
+std::vector<Message> FaultyChannel::transmit(std::vector<Message> outbox) {
+  ++round_;
+  std::vector<Message> batch;
+  batch.reserve(outbox.size());
+
+  // Delayed messages whose due round has arrived go first (they were sent
+  // earlier), in due-round then enqueue order. Recipients may have crashed
+  // while the message was in flight.
+  std::size_t kept = 0;
+  for (Delayed& d : delayed_) {
+    if (d.due_round > round_) {
+      delayed_[kept++] = d;
+      continue;
+    }
+    if (!alive_at(d.message.to, round_)) {
+      ++stats_.crash_dropped;
+      continue;
+    }
+    batch.push_back(d.message);
+  }
+  delayed_.resize(kept);
+
+  for (Message& m : outbox) {
+    // Fail-stop endpoints: a down sender emits nothing, a down receiver
+    // hears nothing.
+    if (!alive_at(m.from, round_ - 1) || !alive_at(m.to, round_)) {
+      ++stats_.crash_dropped;
+      continue;
+    }
+    if (plan_.drop_rate > 0.0 && rng_.bernoulli(plan_.drop_rate)) {
+      ++stats_.dropped;
+      continue;
+    }
+    if (plan_.delay_rate > 0.0 && rng_.bernoulli(plan_.delay_rate)) {
+      const int lateness = static_cast<int>(
+          rng_.uniform_int(1, plan_.max_delay_rounds));
+      delayed_.push_back({round_ + lateness, m});
+      ++stats_.delayed;
+      continue;
+    }
+    batch.push_back(m);
+    if (plan_.duplicate_rate > 0.0 && rng_.bernoulli(plan_.duplicate_rate)) {
+      batch.push_back(m);
+      ++stats_.duplicated;
+    }
+  }
+
+  if (plan_.reorder) rng_.shuffle(batch);
+  return batch;
+}
+
+}  // namespace faircache::sim

@@ -1,5 +1,9 @@
 #include "sim/messages.h"
 
+#include <utility>
+
+#include "sim/faults.h"
+
 namespace faircache::sim {
 
 const char* to_string(MessageType type) {
@@ -24,6 +28,20 @@ const char* to_string(MessageType type) {
       break;
   }
   return "?";
+}
+
+std::vector<Message> MessageBus::deliver_round() {
+  std::vector<Message> batch = std::move(outbox_);
+  outbox_.clear();
+  if (channel_ != nullptr) return channel_->transmit(std::move(batch));
+  return batch;
+}
+
+bool MessageBus::app_idle() const {
+  for (const Message& m : outbox_) {
+    if (!m.ack) return false;
+  }
+  return channel_ == nullptr || channel_->app_in_flight() == 0;
 }
 
 }  // namespace faircache::sim

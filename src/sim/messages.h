@@ -4,9 +4,14 @@
 // message bus that delivers them between node agents in synchronous rounds.
 // Every send is counted per type so the O(QN + N²) message-complexity claim
 // (§IV-D) can be validated empirically.
+//
+// Delivery is perfectly reliable by default. Attaching a sim::FaultyChannel
+// (see sim/faults.h) routes each round's outbox through a seeded fault plan
+// — drops, duplicates, delays, reordering, node crashes — in which case the
+// reliable-transport fields of Message (seq/ack) and the fault counters of
+// MessageStats come into play.
 
 #include <array>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -14,6 +19,8 @@
 #include "metrics/cache_state.h"
 
 namespace faircache::sim {
+
+class FaultyChannel;
 
 enum class MessageType : int {
   kNpi = 0,   // new packet info (broadcast)
@@ -40,10 +47,28 @@ struct Message {
   // responding node's contention weight.
   graph::NodeId source = graph::kInvalidNode;
   double value = 0.0;
+  // Reliable-transport fields (only used when a FaultyChannel is attached):
+  // messages sent reliably carry a per-chunk unique sequence number and are
+  // acknowledged by a link-level ACK echoing that number. seq < 0 means
+  // fire-and-forget.
+  long seq = -1;
+  bool ack = false;
 };
 
 struct MessageStats {
   std::array<long, kNumMessageTypes> sent{};
+  // Reliability / fault-injection counters. None of these contribute to
+  // total(): `sent` stays the application-level Table II traffic so the
+  // O(QN + N²) accounting is unchanged by the transport layer.
+  long acks = 0;              // link-level ACKs sent
+  long retransmits = 0;       // timed-out messages re-sent
+  long dropped = 0;           // lost to random channel loss
+  long crash_dropped = 0;     // lost because an endpoint was down
+  long duplicated = 0;        // channel-duplicated deliveries
+  long delayed = 0;           // deliveries postponed ≥ 1 round
+  long deduplicated = 0;      // duplicate deliveries suppressed by seq
+  long forced_freezes = 0;    // stragglers frozen by the round watchdog
+  long repaired_sources = 0;  // assignments re-pointed after a crash
 
   long count(MessageType type) const {
     return sent[static_cast<std::size_t>(type)];
@@ -58,32 +83,62 @@ struct MessageStats {
       sent[static_cast<std::size_t>(t)] +=
           other.sent[static_cast<std::size_t>(t)];
     }
+    acks += other.acks;
+    retransmits += other.retransmits;
+    dropped += other.dropped;
+    crash_dropped += other.crash_dropped;
+    duplicated += other.duplicated;
+    delayed += other.delayed;
+    deduplicated += other.deduplicated;
+    forced_freezes += other.forced_freezes;
+    repaired_sources += other.repaired_sources;
     return *this;
   }
 };
 
 // Synchronous-round message bus: everything sent in round r is delivered at
-// the start of round r+1, in deterministic (send) order.
+// the start of round r+1, in deterministic (send) order — unless a
+// FaultyChannel is attached, in which case the channel decides what arrives
+// when.
 class MessageBus {
  public:
+  MessageBus() = default;
+  // Routes deliveries through `channel` (non-owning; may be nullptr).
+  explicit MessageBus(FaultyChannel* channel) : channel_(channel) {}
+
   void send(const Message& message) {
     outbox_.push_back(message);
-    ++stats_.sent[static_cast<std::size_t>(message.type)];
+    if (message.ack) {
+      ++stats_.acks;
+    } else {
+      ++stats_.sent[static_cast<std::size_t>(message.type)];
+    }
   }
 
-  // Moves this round's outbox into the delivery queue and returns it.
-  std::vector<Message> deliver_round() {
-    std::vector<Message> batch(outbox_.begin(), outbox_.end());
-    outbox_.clear();
-    return batch;
+  // Re-queues a timed-out reliable message. Counted as a retransmission,
+  // not as a fresh application send.
+  void resend(const Message& message) {
+    outbox_.push_back(message);
+    ++stats_.retransmits;
   }
+
+  // Moves this round's outbox out (through the fault channel when one is
+  // attached) and returns what is delivered this round.
+  std::vector<Message> deliver_round();
 
   bool idle() const { return outbox_.empty(); }
+  // True when no *application* (non-ACK) message is waiting in the outbox
+  // or delayed inside the channel. ACK traffic never affects protocol
+  // state, so termination checks use this instead of idle().
+  bool app_idle() const;
+
   const MessageStats& stats() const { return stats_; }
+  FaultyChannel* channel() const { return channel_; }
 
  private:
-  std::deque<Message> outbox_;
+  std::vector<Message> outbox_;
   MessageStats stats_;
+  FaultyChannel* channel_ = nullptr;
 };
 
 }  // namespace faircache::sim
