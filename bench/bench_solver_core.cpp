@@ -1,0 +1,77 @@
+// Solver-core microbenchmarks (google-benchmark): the three hot stages of
+// the approximation pipeline on the paper's grid topology, at n = 100, 400,
+// 900 and 1600 nodes.
+//
+//   * ContentionBuild — dense c_ij matrix (n BFS accumulations)
+//   * SolveConfl      — one primal–dual ConFL solve on a built instance
+//   * ApproxRun       — ApproxFairCaching end to end, Q = 5 chunks
+//
+// Run `bench/run_benches.sh` to produce BENCH_solver_core.json at the repo
+// root; docs/PERF.md records the before/after numbers for this PR.
+
+#include <benchmark/benchmark.h>
+
+#include "confl/confl.h"
+#include "core/approx.h"
+#include "core/instance_builder.h"
+#include "graph/generators.h"
+#include "metrics/contention.h"
+
+namespace {
+
+using namespace faircache;
+
+void BM_ContentionBuild(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::make_grid(side, side);
+  const metrics::CacheState cache(g.num_nodes(), 5, /*producer=*/0);
+  for (auto _ : state) {
+    metrics::ContentionMatrix m(g, cache, metrics::PathPolicy::kHopShortest);
+    benchmark::DoNotOptimize(m.max_cost());
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
+}
+
+void BM_SolveConfl(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::make_grid(side, side);
+  core::FairCachingProblem problem;
+  problem.network = &g;
+  problem.producer = 0;
+  problem.num_chunks = 1;
+  problem.uniform_capacity = 5;
+  const metrics::CacheState cache(g.num_nodes(), 5, /*producer=*/0);
+  const confl::ConflInstance instance =
+      core::build_chunk_instance(problem, cache, core::InstanceOptions{});
+  for (auto _ : state) {
+    const confl::ConflSolution solution = confl::solve_confl(instance);
+    benchmark::DoNotOptimize(solution.total());
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
+}
+
+void BM_ApproxRun(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::make_grid(side, side);
+  core::FairCachingProblem problem;
+  problem.network = &g;
+  problem.producer = 0;
+  problem.num_chunks = 5;
+  problem.uniform_capacity = 5;
+  for (auto _ : state) {
+    core::ApproxFairCaching appx;
+    benchmark::DoNotOptimize(appx.run(problem));
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
+}
+
+BENCHMARK(BM_ContentionBuild)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolveConfl)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApproxRun)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the solver-core microbenchmarks and writes BENCH_solver_core.json at
+# the repo root. Usage:
+#
+#   bench/run_benches.sh [build-dir]
+#
+# The build dir defaults to ./build and must already contain
+# bench/bench_solver_core (configure with the top-level CMakeLists and
+# build the `bench_solver_core` target first).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+bench_bin="${build_dir}/bench/bench_solver_core"
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "error: ${bench_bin} not found; build the bench_solver_core target" >&2
+  exit 1
+fi
+
+"${bench_bin}" \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="${repo_root}/BENCH_solver_core.json"
+
+echo "wrote ${repo_root}/BENCH_solver_core.json"

@@ -6,6 +6,8 @@
 #include "graph/shortest_paths.h"
 #include "metrics/cache_state.h"
 #include "steiner/steiner.h"
+#include "util/matrix.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace faircache::baselines {
@@ -18,47 +20,49 @@ namespace {
 // Distance matrix + tree edge weights for the configured metric, computed
 // on an *empty* cache state — these baselines never look at cached data.
 struct MetricCosts {
-  std::vector<std::vector<double>> dist;  // dist[i][j]
+  util::Matrix<double> dist;  // dist(i, j)
   std::vector<double> edge_weight;
 };
 
 MetricCosts metric_costs(const Graph& g, const BaselineConfig& config) {
   MetricCosts costs;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
   if (config.metric == BaselineMetric::kHopCount) {
-    const auto hops = graph::all_pairs_hops(g);
-    costs.dist.assign(static_cast<std::size_t>(g.num_nodes()),
-                      std::vector<double>(
-                          static_cast<std::size_t>(g.num_nodes()), 0.0));
-    for (NodeId i = 0; i < g.num_nodes(); ++i) {
-      for (NodeId j = 0; j < g.num_nodes(); ++j) {
-        const int h = hops[static_cast<std::size_t>(i)]
-                          [static_cast<std::size_t>(j)];
-        costs.dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
-            h == graph::kUnreachable ? graph::kInfCost
-                                     : static_cast<double>(h);
+    const util::Matrix<int> hops = graph::all_pairs_hops(g, config.threads);
+    costs.dist.assign(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int* hrow = hops[i];
+      double* drow = costs.dist[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        drow[j] = hrow[j] == graph::kUnreachable
+                      ? graph::kInfCost
+                      : static_cast<double>(hrow[j]);
       }
     }
     costs.edge_weight.assign(static_cast<std::size_t>(g.num_edges()), 1.0);
   } else {
     // Contention with an empty cache (S ≡ 0): the Sung et al. model.
     metrics::CacheState empty(g.num_nodes(), 1, /*producer=*/0);
-    const metrics::ContentionMatrix contention(g, empty);
-    costs.dist = contention.matrix();
-    costs.edge_weight = contention.edge_costs();
+    metrics::ContentionMatrix contention(g, empty,
+                                         metrics::PathPolicy::kHopShortest,
+                                         config.threads);
+    costs.dist = contention.take_matrix();
+    costs.edge_weight = contention.take_edge_costs();
   }
   return costs;
 }
 
 double placement_cost(const Graph& g, NodeId producer,
                       const std::vector<NodeId>& open,
-                      const MetricCosts& costs, double lambda) {
+                      const MetricCosts& costs, double lambda,
+                      int threads = 1) {
   double access = 0.0;
+  const double* prow = costs.dist[static_cast<std::size_t>(producer)];
   for (NodeId j = 0; j < g.num_nodes(); ++j) {
-    double best = costs.dist[static_cast<std::size_t>(producer)]
-                            [static_cast<std::size_t>(j)];
+    double best = prow[j];
     for (NodeId i : open) {
-      best = std::min(best, costs.dist[static_cast<std::size_t>(i)]
-                                      [static_cast<std::size_t>(j)]);
+      best = std::min(best, costs.dist(static_cast<std::size_t>(i),
+                                       static_cast<std::size_t>(j)));
     }
     access += best;
   }
@@ -66,7 +70,9 @@ double placement_cost(const Graph& g, NodeId producer,
   if (!open.empty()) {
     std::vector<NodeId> terminals = open;
     terminals.push_back(producer);
-    tree = steiner::steiner_mst_approx(g, costs.edge_weight, terminals).cost;
+    tree = steiner::steiner_mst_approx(g, costs.edge_weight, terminals,
+                                       threads)
+               .cost;
   }
   return access + lambda * tree;
 }
@@ -82,21 +88,38 @@ std::vector<NodeId> select_cache_set(const Graph& g, NodeId producer,
                           : 1.0;
   const double tree_weight = config.lambda * load;
 
+  const auto n = static_cast<std::size_t>(g.num_nodes());
   std::vector<NodeId> open;
-  double current = placement_cost(g, producer, open, costs, tree_weight);
+  double current =
+      placement_cost(g, producer, open, costs, tree_weight, config.threads);
 
-  std::vector<char> is_open(static_cast<std::size_t>(g.num_nodes()), 0);
+  // Candidate evaluations are independent: score them all in parallel,
+  // then pick the winner with the reference's ascending-id scan (so ties
+  // still resolve to the smaller id).
+  const int threads = util::resolve_parallel_threads(config.threads, n);
+  std::vector<std::vector<NodeId>> scratch(static_cast<std::size_t>(threads));
+  std::vector<double> cand_cost(n);
+
+  std::vector<char> is_open(n, 0);
   for (;;) {
+    util::parallel_for(
+        n,
+        [&](std::size_t ii, int worker) {
+          const auto i = static_cast<NodeId>(ii);
+          if (i == producer || is_open[ii]) return;
+          auto& candidate = scratch[static_cast<std::size_t>(worker)];
+          candidate.assign(open.begin(), open.end());
+          candidate.push_back(i);
+          cand_cost[ii] =
+              placement_cost(g, producer, candidate, costs, tree_weight);
+        },
+        threads);
     NodeId best_node = graph::kInvalidNode;
     double best_cost = current - 1e-9;  // must strictly improve
     for (NodeId i = 0; i < g.num_nodes(); ++i) {
       if (i == producer || is_open[static_cast<std::size_t>(i)]) continue;
-      std::vector<NodeId> candidate = open;
-      candidate.push_back(i);
-      const double cost =
-          placement_cost(g, producer, candidate, costs, tree_weight);
-      if (cost < best_cost) {  // ties resolve to the smaller id (scan order)
-        best_cost = cost;
+      if (cand_cost[static_cast<std::size_t>(i)] < best_cost) {
+        best_cost = cand_cost[static_cast<std::size_t>(i)];
         best_node = i;
       }
     }

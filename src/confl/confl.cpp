@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <utility>
 
 #include "graph/shortest_paths.h"
+#include "util/parallel.h"
 
 namespace faircache::confl {
 
@@ -21,12 +24,10 @@ void validate(const ConflInstance& instance) {
                   "root out of range");
   FAIRCACHE_CHECK(static_cast<int>(instance.facility_cost.size()) == n,
                   "facility cost size mismatch");
-  FAIRCACHE_CHECK(static_cast<int>(instance.assign_cost.size()) == n,
+  FAIRCACHE_CHECK(static_cast<int>(instance.assign_cost.rows()) == n,
                   "assignment cost rows mismatch");
-  for (const auto& row : instance.assign_cost) {
-    FAIRCACHE_CHECK(static_cast<int>(row.size()) == n,
-                    "assignment cost columns mismatch");
-  }
+  FAIRCACHE_CHECK(static_cast<int>(instance.assign_cost.cols()) == n,
+                  "assignment cost columns mismatch");
   FAIRCACHE_CHECK(static_cast<int>(instance.edge_cost.size()) ==
                       instance.network->num_edges(),
                   "edge cost size mismatch");
@@ -40,21 +41,589 @@ void validate(const ConflInstance& instance) {
   }
 }
 
-}  // namespace
-
-ConflSolution solve_confl(const ConflInstance& instance,
-                          const ConflOptions& options) {
-  validate(instance);
+void check_options(const ConflOptions& options) {
   FAIRCACHE_CHECK(options.alpha_step > 0 && options.beta_step > 0 &&
                       options.gamma_step > 0,
                   "step sizes must be positive");
   FAIRCACHE_CHECK(options.span_threshold >= 1, "span threshold must be ≥ 1");
+}
+
+int derive_max_rounds(const ConflInstance& instance,
+                      const ConflOptions& options) {
+  if (options.max_rounds != 0) return options.max_rounds;
+  const int n = instance.network->num_nodes();
+  if (options.growth == GrowthMode::kEventDriven) {
+    return 2 * n * n + 4 * n + 16;
+  }
+  // Fixed step: α only needs to reach the cost of connecting straight to
+  // the root, after which every client freezes.
+  double worst = 0.0;
+  const double* root_row = instance.assign_cost[
+      static_cast<std::size_t>(instance.root)];
+  for (NodeId j = 0; j < n; ++j) {
+    const double to_root = root_row[j];
+    if (to_root != kInfCost) worst = std::max(worst, to_root);
+  }
+  return static_cast<int>(std::ceil(worst / options.alpha_step)) + 2;
+}
+
+// Runs Phase 2 (Steiner tree over the ADMIN set, cheapest-facility
+// re-assignment) and fills the cost fields of `solution`. `admins` is
+// consumed (sorted in place).
+void finish_solution(const ConflInstance& instance,
+                     const ConflOptions& options,
+                     std::vector<NodeId>& admins, ConflSolution& solution) {
+  const int n = instance.network->num_nodes();
+  const NodeId root = instance.root;
+  const auto& c = instance.assign_cost;
+  auto weight = [&](NodeId j) {
+    return instance.client_weight.empty()
+               ? 1.0
+               : instance.client_weight[static_cast<std::size_t>(j)];
+  };
+
+  std::sort(admins.begin(), admins.end());
+  solution.open_facilities = admins;
+
+  for (NodeId i : admins) {
+    solution.facility_cost +=
+        instance.facility_cost[static_cast<std::size_t>(i)];
+  }
+
+  if (!admins.empty()) {
+    std::vector<NodeId> terminals = admins;
+    terminals.push_back(root);
+    std::vector<double> scaled = instance.edge_cost;
+    for (double& w : scaled) w *= instance.edge_scale;
+    solution.tree = steiner::steiner_mst_approx(*instance.network, scaled,
+                                                terminals, options.threads);
+    solution.tree_cost = solution.tree.cost;
+  }
+
+  // Final assignment: cheapest facility in A ∪ {root} (never worse than the
+  // dual-growth assignment). The min is folded facility-by-facility so the
+  // scan walks whole matrix rows (cache-linear) instead of columns; each
+  // client sees the facilities in the same ascending order either way, so
+  // every (best, best_i) update — and the weighted cost sum below — is the
+  // per-client loop's, comparison for comparison.
+  const double* root_row = c[static_cast<std::size_t>(root)];
+  std::vector<double> best(root_row, root_row + n);
+  std::vector<NodeId> best_i(static_cast<std::size_t>(n), root);
+  for (NodeId i : admins) {
+    const double* row = c[static_cast<std::size_t>(i)];
+    for (NodeId j = 0; j < n; ++j) {
+      const double cij = row[j];
+      if (cij < best[static_cast<std::size_t>(j)] ||
+          (cij == best[static_cast<std::size_t>(j)] &&
+           i < best_i[static_cast<std::size_t>(j)])) {
+        best[static_cast<std::size_t>(j)] = cij;
+        best_i[static_cast<std::size_t>(j)] = i;
+      }
+    }
+  }
+  for (NodeId j = 0; j < n; ++j) {
+    solution.assignment[static_cast<std::size_t>(j)] =
+        best_i[static_cast<std::size_t>(j)];
+    solution.assignment_cost += weight(j) * best[static_cast<std::size_t>(j)];
+  }
+}
+
+}  // namespace
+
+// The active-set engine. Semantics (and bit-for-bit arithmetic) match
+// solve_confl_reference below; the data structures differ:
+//
+//   * Every unfrozen client has the same α (all grow by the same delta from
+//     0), so one scalar A replaces the per-client vector, and "client j is
+//     tight with facility i" is the monotone predicate A + 1e-12 ≥ c_ij.
+//   * `active` / `openable` are compacted id lists, so finished clients and
+//     opened facilities cost nothing in later rounds.
+//   * Each openable facility keeps the ascending-id list of its tight
+//     unfrozen clients, extended by tight *events* instead of per-round
+//     rescans: fixed-step mode buckets each (i, j) pair by the round where
+//     it first becomes tight (binary search over the exact α sequence,
+//     computed lazily up to a doubling horizon so far-away pairs are never
+//     bucketed); event-driven mode keeps per-facility (c, j)-sorted arrays
+//     with monotone cursors.
+//   * Freezing onto open facilities uses an incrementally-maintained
+//     cheapest-open-facility (c, i) per client, updated on each opening.
+//
+// Payments still walk tight clients in ascending (facility, client) order,
+// which keeps every floating-point accumulation in the reference order.
+ConflSolution solve_confl(const ConflInstance& instance,
+                          const ConflOptions& options) {
+  validate(instance);
+  check_options(options);
+
+  const int n = instance.network->num_nodes();
+  const auto un = static_cast<std::size_t>(n);
+  const NodeId root = instance.root;
+  const auto& c = instance.assign_cost;
+  auto weight = [&](NodeId j) {
+    return instance.client_weight.empty()
+               ? 1.0
+               : instance.client_weight[static_cast<std::size_t>(j)];
+  };
+
+  // Client state. The root is not a client (it holds everything already).
+  std::vector<char> frozen(un, 0);
+  std::vector<NodeId> connect_to(un, kInvalidNode);
+  frozen[static_cast<std::size_t>(root)] = 1;
+  connect_to[static_cast<std::size_t>(root)] = root;
+
+  // Facility state.
+  std::vector<char> open(un, 0);
+  open[static_cast<std::size_t>(root)] = 1;  // producer pre-opened
+  std::vector<double> paid(un, 0.0);
+
+  // Dual variables: the shared α of all unfrozen clients, plus γ per
+  // (facility, client). β is kept only in aggregate (`paid` holds Σ_j β_ij):
+  // no step ever reads an individual β_ij — the reference's "contributed
+  // (β_ij > 0)" freeze clause is subsumed by tightness, since β only grows
+  // for tight clients and tightness is monotone.
+  double alpha = 0.0;
+  util::Matrix<double> gamma(un, un, 0.0);
+
+  // Active client list (ascending, compacted after freezes).
+  std::vector<NodeId> active;
+  active.reserve(un);
+  for (NodeId j = 0; j < n; ++j) {
+    if (!frozen[static_cast<std::size_t>(j)]) active.push_back(j);
+  }
+  std::size_t num_active = active.size();
+
+  // Openable facility list (ascending, compacted after openings).
+  std::vector<NodeId> openable;
+  for (NodeId i = 0; i < n; ++i) {
+    if (!open[static_cast<std::size_t>(i)] &&
+        instance.facility_cost[static_cast<std::size_t>(i)] != kInfCost) {
+      openable.push_back(i);
+    }
+  }
+
+  // Cheapest open facility per client, lex-min on (cost, id); seeded with
+  // the pre-opened root. A client freezes exactly when α reaches it.
+  std::vector<double> best_open_c(un);
+  std::vector<NodeId> best_open_i(un, root);
+  {
+    const double* root_row = c[static_cast<std::size_t>(root)];
+    std::copy(root_row, root_row + un, best_open_c.begin());
+  }
+
+  // tight[i]: ascending ids of clients tight with openable facility i.
+  // Frozen entries are skipped (and compacted away) lazily.
+  std::vector<std::vector<NodeId>> tight(un);
+
+  const int max_rounds = derive_max_rounds(instance, options);
+  const double beta_rate = options.beta_step / options.alpha_step;
+  const double gamma_rate = options.gamma_step / options.alpha_step;
+  const bool event = options.growth == GrowthMode::kEventDriven;
+
+  // Appends entries [mid, end) of `tl` (sorted, disjoint from the prefix)
+  // into sorted position. Almost always a plain append; merge otherwise.
+  std::vector<NodeId> merge_scratch;
+  auto merge_tight_tail = [&](std::vector<NodeId>& tl, std::size_t mid) {
+    if (mid == 0 || mid == tl.size() || tl[mid - 1] < tl[mid]) return;
+    merge_scratch.resize(tl.size());
+    std::merge(tl.begin(), tl.begin() + static_cast<std::ptrdiff_t>(mid),
+               tl.begin() + static_cast<std::ptrdiff_t>(mid), tl.end(),
+               merge_scratch.begin());
+    std::copy(merge_scratch.begin(), merge_scratch.end(), tl.begin());
+  };
+
+  // ---- Fixed-step tight-event scheduler ----------------------------------
+  // a_seq[k] is α after k growth rounds, computed by the same repeated
+  // addition the reference performs (so every comparison sees the exact
+  // same value). bucket[k] holds the (i, j) pairs that first satisfy
+  // a_seq[k] + 1e-12 ≥ c_ij, in lex order; far[i] holds the clients of i
+  // whose tight round lies beyond the current horizon.
+  std::vector<double> a_seq;
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> bucket;
+  std::vector<std::vector<NodeId>> far;
+  int horizon = -1;
+
+  auto extend_horizon = [&](int target) {
+    const int old = horizon;
+    horizon = target;
+    while (static_cast<int>(a_seq.size()) <= horizon) {
+      a_seq.push_back(a_seq.empty() ? 0.0
+                                    : a_seq.back() + options.alpha_step);
+    }
+    bucket.resize(static_cast<std::size_t>(horizon) + 1);
+    const double reach = a_seq[static_cast<std::size_t>(horizon)] + 1e-12;
+    // First k in (old, horizon] with a_seq[k] + 1e-12 ≥ c_ij; the predicate
+    // is monotone because a_seq is non-decreasing.
+    auto schedule = [&](NodeId i, NodeId j, double cij) {
+      int lo = old + 1;
+      int hi = horizon;
+      while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (a_seq[static_cast<std::size_t>(mid)] + 1e-12 >= cij) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      bucket[static_cast<std::size_t>(lo)].emplace_back(i, j);
+    };
+    if (old < 0) {
+      // Initial pass: split each cost row directly into near-term buckets
+      // and the leftover far list, without materialising the full row as a
+      // far list first.
+      far.resize(un);
+      for (NodeId i : openable) {
+        const double* row = c[static_cast<std::size_t>(i)];
+        auto& fr = far[static_cast<std::size_t>(i)];
+        for (NodeId j = 0; j < n; ++j) {
+          const double cij = row[j];
+          if (cij == kInfCost || frozen[static_cast<std::size_t>(j)]) {
+            continue;
+          }
+          if (cij <= reach) {
+            schedule(i, j, cij);
+          } else {
+            fr.push_back(j);
+          }
+        }
+      }
+      return;
+    }
+    for (NodeId i : openable) {
+      auto& fr = far[static_cast<std::size_t>(i)];
+      if (fr.empty()) continue;
+      const double* row = c[static_cast<std::size_t>(i)];
+      std::size_t out = 0;
+      for (NodeId j : fr) {
+        if (frozen[static_cast<std::size_t>(j)]) continue;
+        const double cij = row[j];
+        if (cij <= reach) {
+          schedule(i, j, cij);
+        } else {
+          fr[out++] = j;
+        }
+      }
+      fr.resize(out);
+    }
+  };
+
+  auto process_bucket = [&](int k) {
+    auto& b = bucket[static_cast<std::size_t>(k)];
+    std::size_t p = 0;
+    while (p < b.size()) {  // entries are grouped by facility, lex order
+      const NodeId i = b[p].first;
+      std::size_t q = p;
+      while (q < b.size() && b[q].first == i) ++q;
+      if (!open[static_cast<std::size_t>(i)]) {
+        auto& tl = tight[static_cast<std::size_t>(i)];
+        const std::size_t mid = tl.size();
+        for (std::size_t t = p; t < q; ++t) {
+          if (!frozen[static_cast<std::size_t>(b[t].second)]) {
+            tl.push_back(b[t].second);
+          }
+        }
+        merge_tight_tail(tl, mid);
+      }
+      p = q;
+    }
+    b.clear();
+  };
+
+  // ---- Event-driven tight-event scheduler --------------------------------
+  // Per-facility (c, j)-sorted pair arrays with two monotone cursors:
+  // tight_ptr walks pairs as they satisfy α + 1e-12 ≥ c (feeding the tight
+  // lists), delta_ptr walks pairs with c ≤ α or a frozen client, leaving it
+  // on the facility's next tightness-event candidate.
+  struct EventList {
+    std::vector<std::pair<double, NodeId>> byc;
+    std::size_t tight_ptr = 0;
+    std::size_t delta_ptr = 0;
+  };
+  std::vector<EventList> events;
+  // Facilities that participate in tightness events: every openable one
+  // plus everything pre-opened (the root) — a constant set, since only
+  // openable facilities ever open.
+  std::vector<NodeId> tracked;
+
+  std::vector<NodeId> newly;
+  auto advance_tight_lists = [&]() {
+    for (NodeId i : openable) {
+      auto& ev = events[static_cast<std::size_t>(i)];
+      std::size_t& p = ev.tight_ptr;
+      const auto& arr = ev.byc;
+      if (p >= arr.size() || alpha + 1e-12 < arr[p].first) continue;
+      newly.clear();
+      while (p < arr.size() && alpha + 1e-12 >= arr[p].first) {
+        if (!frozen[static_cast<std::size_t>(arr[p].second)]) {
+          newly.push_back(arr[p].second);
+        }
+        ++p;
+      }
+      if (newly.empty()) continue;
+      std::sort(newly.begin(), newly.end());
+      auto& tl = tight[static_cast<std::size_t>(i)];
+      const std::size_t mid = tl.size();
+      tl.insert(tl.end(), newly.begin(), newly.end());
+      merge_tight_tail(tl, mid);
+    }
+  };
+
+  // Smallest time advance to the next event (event-driven mode). Returns 0
+  // when an event is already due (process without growing). Candidates and
+  // FP expressions are those of the reference; min() over them is
+  // order-insensitive, so per-facility sorted scans give the same value.
+  std::vector<double> pending;
+  auto next_event_delta = [&]() {
+    double delta = kInfCost;
+    for (NodeId i : tracked) {  // tightness
+      auto& ev = events[static_cast<std::size_t>(i)];
+      std::size_t& p = ev.delta_ptr;
+      const auto& arr = ev.byc;
+      while (p < arr.size() &&
+             (arr[p].first <= alpha ||
+              frozen[static_cast<std::size_t>(arr[p].second)])) {
+        ++p;
+      }
+      if (p < arr.size()) delta = std::min(delta, arr[p].first - alpha);
+    }
+    for (NodeId i : openable) {
+      auto& tl = tight[static_cast<std::size_t>(i)];
+      double rate = 0.0;
+      std::size_t out = 0;
+      for (NodeId j : tl) {
+        if (frozen[static_cast<std::size_t>(j)]) continue;
+        tl[out++] = j;
+        rate += weight(j);
+      }
+      tl.resize(out);
+      if (out == 0) continue;
+      const double fi = instance.facility_cost[static_cast<std::size_t>(i)];
+      if (paid[static_cast<std::size_t>(i)] + 1e-12 < fi) {
+        // Payment completion (rate = summed weights of tight clients).
+        if (rate > 0) {
+          delta = std::min(delta, (fi - paid[static_cast<std::size_t>(i)]) /
+                                      (rate * beta_rate));
+        }
+        continue;
+      }
+      // M-th SPAN.
+      int spans = 0;
+      pending.clear();
+      const double* grow = gamma[static_cast<std::size_t>(i)];
+      const double* row = c[static_cast<std::size_t>(i)];
+      for (NodeId j : tl) {
+        const double gij = grow[j];
+        const double cij = row[j];
+        if (gij + 1e-12 >= cij) {
+          ++spans;
+        } else if (weight(j) > 0) {
+          pending.push_back((cij - gij) / (weight(j) * gamma_rate));
+        }
+      }
+      const int needed = options.span_threshold - spans;
+      if (needed <= 0) {
+        delta = 0.0;  // opening already due
+      } else if (needed <= static_cast<int>(pending.size())) {
+        std::nth_element(pending.begin(), pending.begin() + (needed - 1),
+                         pending.end());
+        delta = std::min(delta, pending[static_cast<std::size_t>(needed - 1)]);
+      }
+    }
+    if (delta == kInfCost) delta = 0.0;  // nothing to wait for
+    return std::max(delta, 0.0);
+  };
+
+  // ---- Mode set-up -------------------------------------------------------
+  if (event) {
+    events.resize(un);
+    tracked.reserve(openable.size() + 1);
+    for (NodeId i = 0; i < n; ++i) {
+      if (open[static_cast<std::size_t>(i)] ||
+          instance.facility_cost[static_cast<std::size_t>(i)] != kInfCost) {
+        tracked.push_back(i);
+      }
+    }
+    // Building the sorted pair arrays is the one O(n² log n) step; rows
+    // are independent, so build them in parallel.
+    util::parallel_for(
+        tracked.size(),
+        [&](std::size_t t) {
+          const NodeId i = tracked[t];
+          auto& arr = events[static_cast<std::size_t>(i)].byc;
+          const double* row = c[static_cast<std::size_t>(i)];
+          arr.reserve(un);
+          for (NodeId j = 0; j < n; ++j) {
+            if (row[j] != kInfCost) arr.emplace_back(row[j], j);
+          }
+          std::sort(arr.begin(), arr.end());
+        },
+        options.threads);
+    advance_tight_lists();  // pairs tight at α = 0 (zero-cost pairs)
+  } else {
+    extend_horizon(std::max(0, std::min(16, max_rounds)));
+    process_bucket(0);  // pairs tight at α = 0 (zero-cost pairs)
+  }
+
+  ConflSolution solution;
+  solution.assignment.assign(un, kInvalidNode);
+  solution.assignment[static_cast<std::size_t>(root)] = root;
+
+  std::vector<NodeId> admins;
+
+  int round = 0;
+  for (; round < max_rounds && num_active > 0; ++round) {
+    // 1. Grow connection bids (paper line 18) — by the fixed unit, or
+    // exactly up to the next event — and ingest the pairs that become
+    // tight at the new α.
+    double delta;
+    if (event) {
+      delta = next_event_delta();
+      if (delta > 0) {
+        alpha += delta;
+        advance_tight_lists();
+      }
+    } else {
+      delta = options.alpha_step;
+      const int k = round + 1;
+      if (k > horizon) {
+        extend_horizon(std::min(std::max(2 * horizon, k), max_rounds));
+      }
+      alpha = a_seq[static_cast<std::size_t>(k)];
+      process_bucket(k);
+    }
+
+    // 2. Tight with an already-open facility → TIGHT request accepted,
+    // client freezes (paper lines 21–26) onto its cheapest open facility.
+    bool froze = false;
+    for (NodeId j : active) {
+      if (frozen[static_cast<std::size_t>(j)]) continue;
+      if (alpha + 1e-12 >= best_open_c[static_cast<std::size_t>(j)]) {
+        frozen[static_cast<std::size_t>(j)] = 1;
+        connect_to[static_cast<std::size_t>(j)] =
+            best_open_i[static_cast<std::size_t>(j)];
+        --num_active;
+        froze = true;
+      }
+    }
+
+    // 3. Payments and relay bids toward unopened facilities (lines 19–20):
+    // tight clients pay β until f_i is covered, then raise γ. Ascending
+    // (facility, client) order — the reference accumulation order.
+    if (delta > 0) {
+      for (NodeId i : openable) {
+        auto& tl = tight[static_cast<std::size_t>(i)];
+        if (tl.empty()) continue;
+        const double fi =
+            instance.facility_cost[static_cast<std::size_t>(i)];
+        double& pi = paid[static_cast<std::size_t>(i)];
+        double* grow = gamma[static_cast<std::size_t>(i)];
+        std::size_t out = 0;
+        for (NodeId j : tl) {
+          if (frozen[static_cast<std::size_t>(j)]) continue;
+          tl[out++] = j;
+          if (pi + 1e-12 < fi) {
+            const double pay =
+                std::min(weight(j) * beta_rate * delta, fi - pi);
+            pi += pay;
+          } else {
+            // Demand-weighted clients raise relay bids faster, pulling
+            // facilities toward demand hot-spots.
+            grow[j] += weight(j) * gamma_rate * delta;
+          }
+        }
+        tl.resize(out);
+      }
+    }
+
+    // 4. Facilities with the facility cost covered and ≥ M SPAN requests
+    // become ADMIN (lines 27–44). SPANs from frozen clients are retracted
+    // (a FREEZE response stops their bidding), which prevents two adjacent
+    // facilities from opening for the same client set. Every SPAN holder is
+    // tight (γ only grows for tight clients; a zero-cost pair is tight from
+    // round 0), so counting within the tight list matches the reference's
+    // all-clients scan.
+    bool opened = false;
+    for (NodeId i : openable) {
+      const double fi = instance.facility_cost[static_cast<std::size_t>(i)];
+      if (paid[static_cast<std::size_t>(i)] + 1e-12 < fi) continue;
+      auto& tl = tight[static_cast<std::size_t>(i)];
+      const double* grow = gamma[static_cast<std::size_t>(i)];
+      const double* row = c[static_cast<std::size_t>(i)];
+      int spans = 0;
+      std::size_t out = 0;
+      for (NodeId j : tl) {
+        if (frozen[static_cast<std::size_t>(j)]) continue;
+        tl[out++] = j;
+        if (grow[j] + 1e-12 >= row[j]) ++spans;
+      }
+      tl.resize(out);
+      if (spans < options.span_threshold) continue;
+
+      open[static_cast<std::size_t>(i)] = 1;
+      opened = true;
+      admins.push_back(i);
+      // Fold the new facility into every remaining client's cheapest-open
+      // tracking, then freeze everyone tight with the new ADMIN. (A client
+      // with β_ij > 0 is necessarily tight, so the reference's
+      // "tight or contributed" freeze set is exactly the tight list.)
+      for (NodeId j : active) {
+        if (frozen[static_cast<std::size_t>(j)]) continue;
+        const double cij = row[j];
+        if (cij < best_open_c[static_cast<std::size_t>(j)] ||
+            (cij == best_open_c[static_cast<std::size_t>(j)] &&
+             i < best_open_i[static_cast<std::size_t>(j)])) {
+          best_open_c[static_cast<std::size_t>(j)] = cij;
+          best_open_i[static_cast<std::size_t>(j)] = i;
+        }
+      }
+      for (NodeId j : tl) {
+        if (frozen[static_cast<std::size_t>(j)]) continue;
+        frozen[static_cast<std::size_t>(j)] = 1;
+        connect_to[static_cast<std::size_t>(j)] = i;
+        --num_active;
+      }
+      froze = true;
+      tl.clear();
+      if (!event) far[static_cast<std::size_t>(i)].clear();
+    }
+
+    // Compact the active/openable lists so later rounds only touch live
+    // entries.
+    if (froze) {
+      std::size_t out = 0;
+      for (NodeId j : active) {
+        if (!frozen[static_cast<std::size_t>(j)]) active[out++] = j;
+      }
+      active.resize(out);
+    }
+    if (opened) {
+      std::size_t out = 0;
+      for (NodeId i : openable) {
+        if (!open[static_cast<std::size_t>(i)]) openable[out++] = i;
+      }
+      openable.resize(out);
+    }
+  }
+  solution.rounds = round;
+  FAIRCACHE_CHECK(num_active == 0,
+                  "dual growth did not converge within the round budget");
+
+  finish_solution(instance, options, admins, solution);
+  return solution;
+}
+
+// The original dense engine: per-client α vector, per-round rescans of
+// every (facility, client) pair. Kept as the behavioural reference for
+// solve_confl — both must produce bit-identical solutions.
+ConflSolution solve_confl_reference(const ConflInstance& instance,
+                                    const ConflOptions& options) {
+  validate(instance);
+  check_options(options);
 
   const int n = instance.network->num_nodes();
   const NodeId root = instance.root;
   const auto& c = instance.assign_cost;
   auto cost = [&](NodeId i, NodeId j) {
-    return c[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    return c(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
   };
   auto weight = [&](NodeId j) {
     return instance.client_weight.empty()
@@ -75,35 +644,17 @@ ConflSolution solve_confl(const ConflInstance& instance,
 
   // Dual variables. α per client; β/γ per (facility, client).
   std::vector<double> alpha(static_cast<std::size_t>(n), 0.0);
-  std::vector<std::vector<double>> beta(
-      static_cast<std::size_t>(n),
-      std::vector<double>(static_cast<std::size_t>(n), 0.0));
-  std::vector<std::vector<double>> gamma = beta;
+  util::Matrix<double> beta(static_cast<std::size_t>(n),
+                            static_cast<std::size_t>(n), 0.0);
+  util::Matrix<double> gamma(static_cast<std::size_t>(n),
+                             static_cast<std::size_t>(n), 0.0);
 
   auto openable = [&](NodeId i) {
     return !open[static_cast<std::size_t>(i)] &&
            instance.facility_cost[static_cast<std::size_t>(i)] != kInfCost;
   };
 
-  // Derive the round budget. Fixed step: α only needs to reach the cost of
-  // connecting straight to the root, after which every client freezes.
-  // Event-driven: every round consumes a discrete event (a pair becoming
-  // tight, a payment completing, an opening, a freeze), of which there are
-  // O(N²).
-  int max_rounds = options.max_rounds;
-  if (max_rounds == 0) {
-    if (options.growth == GrowthMode::kEventDriven) {
-      max_rounds = 2 * n * n + 4 * n + 16;
-    } else {
-      double worst = 0.0;
-      for (NodeId j = 0; j < n; ++j) {
-        const double to_root = cost(root, j);
-        if (to_root != kInfCost) worst = std::max(worst, to_root);
-      }
-      max_rounds =
-          static_cast<int>(std::ceil(worst / options.alpha_step)) + 2;
-    }
-  }
+  const int max_rounds = derive_max_rounds(instance, options);
 
   // Dual growth rates per unit of α-time.
   const double beta_rate = options.beta_step / options.alpha_step;
@@ -149,8 +700,8 @@ ConflSolution solve_confl(const ConflInstance& instance,
       int spans = 0;
       std::vector<double> pending;
       for (NodeId j : tight) {
-        const double gij =
-            gamma[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+        const double gij = gamma(static_cast<std::size_t>(i),
+                                 static_cast<std::size_t>(j));
         const double cij = cost(i, j);
         if (gij + 1e-12 >= cij) {
           ++spans;
@@ -162,8 +713,8 @@ ConflSolution solve_confl(const ConflInstance& instance,
       if (needed <= 0) {
         delta = 0.0;  // opening already due
       } else if (needed <= static_cast<int>(pending.size())) {
-        std::nth_element(pending.begin(),
-                         pending.begin() + (needed - 1), pending.end());
+        std::nth_element(pending.begin(), pending.begin() + (needed - 1),
+                         pending.end());
         delta = std::min(delta,
                          pending[static_cast<std::size_t>(needed - 1)]);
       }
@@ -239,14 +790,14 @@ ConflSolution solve_confl(const ConflInstance& instance,
             const double pay =
                 std::min(weight(j) * beta_rate * delta,
                          fi - paid[static_cast<std::size_t>(i)]);
-            beta[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+            beta(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) +=
                 pay;
             paid[static_cast<std::size_t>(i)] += pay;
           } else {
             // Demand-weighted clients raise relay bids faster, pulling
             // facilities toward demand hot-spots.
-            gamma[static_cast<std::size_t>(i)]
-                 [static_cast<std::size_t>(j)] +=
+            gamma(static_cast<std::size_t>(i),
+                  static_cast<std::size_t>(j)) +=
                 weight(j) * gamma_rate * delta;
           }
         }
@@ -264,7 +815,8 @@ ConflSolution solve_confl(const ConflInstance& instance,
       int spans = 0;
       for (NodeId j = 0; j < n; ++j) {
         if (frozen[static_cast<std::size_t>(j)]) continue;
-        if (gamma[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +
+        if (gamma(static_cast<std::size_t>(i),
+                  static_cast<std::size_t>(j)) +
                 1e-12 >=
             cost(i, j)) {
           ++spans;
@@ -281,7 +833,7 @@ ConflSolution solve_confl(const ConflInstance& instance,
         const bool tight =
             alpha[static_cast<std::size_t>(j)] + 1e-12 >= cost(i, j);
         const bool contributed =
-            beta[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] >
+            beta(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) >
             0.0;
         if (tight || contributed) {
           frozen[static_cast<std::size_t>(j)] = 1;
@@ -294,41 +846,7 @@ ConflSolution solve_confl(const ConflInstance& instance,
   FAIRCACHE_CHECK(all_frozen(),
                   "dual growth did not converge within the round budget");
 
-  // ---- Phase 2: connect ADMINs to the root and re-assign clients. ----
-  std::sort(admins.begin(), admins.end());
-  solution.open_facilities = admins;
-
-  for (NodeId i : admins) {
-    solution.facility_cost +=
-        instance.facility_cost[static_cast<std::size_t>(i)];
-  }
-
-  if (!admins.empty()) {
-    std::vector<NodeId> terminals = admins;
-    terminals.push_back(root);
-    std::vector<double> scaled = instance.edge_cost;
-    for (double& w : scaled) w *= instance.edge_scale;
-    solution.tree =
-        steiner::steiner_mst_approx(*instance.network, scaled, terminals);
-    solution.tree_cost = solution.tree.cost;
-  }
-
-  // Final assignment: cheapest facility in A ∪ {root} (never worse than the
-  // dual-growth assignment).
-  for (NodeId j = 0; j < n; ++j) {
-    double best = cost(root, j);
-    NodeId best_i = root;
-    for (NodeId i : admins) {
-      const double cij = cost(i, j);
-      if (cij < best || (cij == best && i < best_i)) {
-        best = cij;
-        best_i = i;
-      }
-    }
-    solution.assignment[static_cast<std::size_t>(j)] = best_i;
-    solution.assignment_cost += weight(j) * best;
-  }
-
+  finish_solution(instance, options, admins, solution);
   return solution;
 }
 
@@ -341,15 +859,14 @@ double evaluate_confl_objective(const ConflInstance& instance,
   for (NodeId i : open) {
     total += instance.facility_cost[static_cast<std::size_t>(i)];
   }
+  const double* root_row =
+      instance.assign_cost[static_cast<std::size_t>(instance.root)];
   for (NodeId j = 0; j < n; ++j) {
-    double best =
-        instance.assign_cost[static_cast<std::size_t>(instance.root)]
-                            [static_cast<std::size_t>(j)];
+    double best = root_row[j];
     for (NodeId i : open) {
-      best = std::min(
-          best,
-          instance.assign_cost[static_cast<std::size_t>(i)]
-                              [static_cast<std::size_t>(j)]);
+      best = std::min(best,
+                      instance.assign_cost(static_cast<std::size_t>(i),
+                                           static_cast<std::size_t>(j)));
     }
     const double w = instance.client_weight.empty()
                          ? 1.0

@@ -29,6 +29,7 @@
 
 #include "graph/graph.h"
 #include "steiner/steiner.h"
+#include "util/matrix.h"
 
 namespace faircache::confl {
 
@@ -37,8 +38,9 @@ struct ConflInstance {
   graph::NodeId root = graph::kInvalidNode;
   // f_i; +inf marks a node that can never open (producer, full cache).
   std::vector<double> facility_cost;
-  // c[i][j]: cost for client j to connect to facility i (c[j][j] == 0).
-  std::vector<std::vector<double>> assign_cost;
+  // c(i, j): cost for client j to connect to facility i (c(j, j) == 0).
+  // Row i is the contiguous per-facility cost row.
+  util::Matrix<double> assign_cost;
   // Dissemination cost per edge of `network`.
   std::vector<double> edge_cost;
   // Multiplier M applied to edge costs in the objective (Eq. 8).
@@ -77,6 +79,11 @@ struct ConflOptions {
   int span_threshold = 3;
   // Safety valve on growth rounds; 0 derives it from max assignment cost.
   int max_rounds = 0;
+  // Worker threads for the parallelisable set-up work (event-list builds,
+  // Phase 2 Steiner shortest paths). 0 = the util::parallel_threads()
+  // default, 1 = fully serial. The solution is bit-identical at any
+  // setting; threading never changes the dual-growth arithmetic.
+  int threads = 0;
 };
 
 struct ConflSolution {
@@ -96,8 +103,20 @@ struct ConflSolution {
 };
 
 // Runs the primal–dual approximation on one ConFL instance.
+//
+// The implementation is the active-set engine: it tracks the compacted
+// lists of unfrozen clients and openable facilities plus per-facility
+// tight-client lists, so each growth round costs O(active pairs) instead
+// of O(n²). Its output is bit-identical to solve_confl_reference below on
+// every instance (see tests/perf_core_test.cpp).
 ConflSolution solve_confl(const ConflInstance& instance,
                           const ConflOptions& options = {});
+
+// Reference implementation: the original dense engine that rescans every
+// (facility, client) pair each round. Kept for differential testing of the
+// active-set solver; prefer solve_confl everywhere else.
+ConflSolution solve_confl_reference(const ConflInstance& instance,
+                                    const ConflOptions& options = {});
 
 // Objective value of an arbitrary (facility set, tree) pair under the
 // instance costs, assigning every client to its cheapest open facility.

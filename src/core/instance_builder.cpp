@@ -16,10 +16,10 @@ confl::ConflInstance build_chunk_instance(const FairCachingProblem& problem,
   instance.edge_scale = options.edge_scale;
   instance.facility_cost = options.fairness.costs(state);
 
-  const metrics::ContentionMatrix contention(*problem.network, state,
-                                             options.path_policy);
-  instance.assign_cost = contention.matrix();
-  instance.edge_cost = contention.edge_costs();
+  metrics::ContentionMatrix contention(*problem.network, state,
+                                       options.path_policy, options.threads);
+  instance.assign_cost = contention.take_matrix();
+  instance.edge_cost = contention.take_edge_costs();
   if (options.demand != nullptr) {
     FAIRCACHE_CHECK(chunk >= 0 &&
                         static_cast<std::size_t>(chunk) <

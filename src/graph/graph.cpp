@@ -95,6 +95,27 @@ std::vector<NodeId> Graph::largest_component() const {
   return result;
 }
 
+CsrAdjacency build_csr(const Graph& g) {
+  CsrAdjacency csr;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  csr.offset.resize(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    csr.offset[v + 1] =
+        csr.offset[v] + static_cast<int>(g.neighbors(static_cast<NodeId>(v)).size());
+  }
+  csr.neighbor.resize(static_cast<std::size_t>(csr.offset[n]));
+  csr.incident.resize(static_cast<std::size_t>(csr.offset[n]));
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(static_cast<NodeId>(v));
+    const auto incs = g.incident_edges(static_cast<NodeId>(v));
+    std::copy(nbrs.begin(), nbrs.end(),
+              csr.neighbor.begin() + csr.offset[v]);
+    std::copy(incs.begin(), incs.end(),
+              csr.incident.begin() + csr.offset[v]);
+  }
+  return csr;
+}
+
 Subgraph induced_subgraph(const Graph& g, std::span<const NodeId> keep) {
   Subgraph sub;
   sub.to_new.assign(static_cast<std::size_t>(g.num_nodes()), kInvalidNode);

@@ -86,6 +86,19 @@ class Graph {
   std::vector<Edge> edges_;
 };
 
+// Flattened (CSR) copy of the adjacency lists: the neighbours and incident
+// edge ids of node v are the aligned ranges [offset[v], offset[v+1]), in
+// the same ascending-id order as Graph::neighbors. Built once and passed
+// into traversal-heavy loops so they stream through two contiguous arrays
+// instead of chasing per-node vectors.
+struct CsrAdjacency {
+  std::vector<int> offset;      // size n + 1
+  std::vector<NodeId> neighbor; // size 2m
+  std::vector<EdgeId> incident; // aligned with neighbor
+};
+
+CsrAdjacency build_csr(const Graph& g);
+
 // Subgraph induced by a node subset, plus the id mappings in both
 // directions (used by the baselines' multi-item subgraph rounds).
 struct Subgraph {

@@ -1,8 +1,12 @@
 #include "graph/shortest_paths.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <queue>
 #include <tuple>
+
+#include "util/parallel.h"
 
 namespace faircache::graph {
 
@@ -49,12 +53,41 @@ std::vector<NodeId> hop_path(const Graph& g, NodeId from, NodeId to) {
   return extract_path(bfs(g, from), to);
 }
 
-std::vector<std::vector<int>> all_pairs_hops(const Graph& g) {
-  std::vector<std::vector<int>> result;
-  result.reserve(static_cast<std::size_t>(g.num_nodes()));
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    result.push_back(bfs(g, v).hops);
+void bfs_hops(const Graph& g, NodeId source, int* hops,
+              std::vector<NodeId>& queue) {
+  FAIRCACHE_CHECK(g.contains(source), "bfs source out of range");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::fill(hops, hops + n, kUnreachable);
+  queue.clear();
+  hops[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId v = queue[head];
+    for (NodeId w : g.neighbors(v)) {  // ascending id — deterministic
+      if (hops[static_cast<std::size_t>(w)] == kUnreachable) {
+        hops[static_cast<std::size_t>(w)] =
+            hops[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(w);
+      }
+    }
   }
+}
+
+util::Matrix<int> all_pairs_hops(const Graph& g, int threads) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  util::Matrix<int> result;
+  result.assign_no_init(n, n);  // bfs_hops fills each row completely
+  threads = util::resolve_parallel_threads(threads, n);
+  // Worker-private queue scratch; rows are disjoint, so any schedule
+  // produces the same matrix.
+  std::vector<std::vector<NodeId>> queues(static_cast<std::size_t>(threads));
+  util::parallel_for(
+      n,
+      [&](std::size_t v, int worker) {
+        bfs_hops(g, static_cast<NodeId>(v), result[v],
+                 queues[static_cast<std::size_t>(worker)]);
+      },
+      threads);
   return result;
 }
 
@@ -128,46 +161,149 @@ NodeWeightedPaths dijkstra_node_weights(const Graph& g, NodeId source,
 }
 
 EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
-                                        const std::vector<double>& weight) {
+                                        const std::vector<double>& weight,
+                                        const std::vector<char>* settle_only,
+                                        const CsrAdjacency* adj,
+                                        const std::vector<double>* slot_weight) {
   FAIRCACHE_CHECK(g.contains(source), "dijkstra source out of range");
   FAIRCACHE_CHECK(static_cast<int>(weight.size()) == g.num_edges(),
                   "edge weight vector size mismatch");
+  CsrAdjacency local;
+  if (adj == nullptr) {
+    FAIRCACHE_CHECK(slot_weight == nullptr,
+                    "slot_weight requires a csr adjacency");
+    local = build_csr(g);
+    adj = &local;
+  }
+  FAIRCACHE_CHECK(
+      adj->offset.size() == static_cast<std::size_t>(g.num_nodes()) + 1,
+      "csr adjacency size mismatch");
+  FAIRCACHE_CHECK(
+      slot_weight == nullptr || slot_weight->size() == adj->incident.size(),
+      "slot weight size mismatch");
 
   EdgeWeightedPaths out;
   out.source = source;
   const auto n = static_cast<std::size_t>(g.num_nodes());
-  out.cost.assign(n, kInfCost);
-  out.parent.assign(n, kInvalidNode);
-  out.parent_edge.assign(n, -1);
 
-  using Entry = std::tuple<double, NodeId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  out.cost[static_cast<std::size_t>(source)] = 0.0;
-  heap.emplace(0.0, source);
-  std::vector<char> settled(n, 0);
+  int wanted = 0;
+  if (settle_only != nullptr) {
+    FAIRCACHE_CHECK(settle_only->size() == n, "settle_only size mismatch");
+    for (char f : *settle_only) wanted += f != 0;
+  }
+
+  // Per-node search state, packed so that one relaxation touches one cache
+  // line instead of four parallel arrays; copied into `out` at the end.
+  // pos: kUnvisited → never enqueued, kSettled → popped, otherwise the
+  // node's heap slot.
+  constexpr int kUnvisited = -1;
+  constexpr int kSettled = -2;
+  struct NodeState {
+    double cost = kInfCost;
+    NodeId parent = kInvalidNode;
+    EdgeId parent_edge = -1;
+    int pos = kUnvisited;
+  };
+  std::vector<NodeState> state(n);
+
+  // Indexed 4-ary min-heap keyed by (cost, node id). The pop sequence is the
+  // same as a lazy-deletion binary heap's — both always yield the live entry
+  // with the smallest (cost, id) pair — but decrease-key replaces stale
+  // duplicates, so the heap never exceeds the frontier size. Keys pack the
+  // cost's bit pattern and the node id into one 96-bit integer: path costs
+  // are sums of non-negative weights, and non-negative IEEE doubles compare
+  // identically to their bit patterns, so a single integer compare gives the
+  // lexicographic (cost, id) order without any FP-compare branching.
+  using HeapKey = unsigned __int128;
+  const auto make_key = [](double cost, NodeId id) {
+    return (HeapKey{std::bit_cast<std::uint64_t>(cost)} << 32) |
+           HeapKey{static_cast<std::uint32_t>(id)};
+  };
+  const auto key_id = [](HeapKey k) {
+    return static_cast<NodeId>(static_cast<std::uint32_t>(k));
+  };
+  const auto key_cost = [](HeapKey k) {
+    return std::bit_cast<double>(static_cast<std::uint64_t>(k >> 32));
+  };
+  std::vector<HeapKey> heap;
+  const auto sift_up = [&](std::size_t k, HeapKey v) {
+    while (k > 0) {
+      const std::size_t p = (k - 1) / 4;
+      if (v >= heap[p]) break;
+      heap[k] = heap[p];
+      state[static_cast<std::size_t>(key_id(heap[k]))].pos =
+          static_cast<int>(k);
+      k = p;
+    }
+    heap[k] = v;
+    state[static_cast<std::size_t>(key_id(v))].pos = static_cast<int>(k);
+  };
+  const auto sift_down = [&](std::size_t k, HeapKey v) {
+    const std::size_t sz = heap.size();
+    for (;;) {
+      const std::size_t first = 4 * k + 1;
+      if (first >= sz) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, sz);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (heap[c] < heap[best]) best = c;
+      }
+      if (heap[best] >= v) break;
+      heap[k] = heap[best];
+      state[static_cast<std::size_t>(key_id(heap[k]))].pos =
+          static_cast<int>(k);
+      k = best;
+    }
+    heap[k] = v;
+    state[static_cast<std::size_t>(key_id(v))].pos = static_cast<int>(k);
+  };
+
+  state[static_cast<std::size_t>(source)].cost = 0.0;
+  state[static_cast<std::size_t>(source)].pos = 0;
+  heap.push_back(make_key(0.0, source));
   while (!heap.empty()) {
-    const auto [cost, v] = heap.top();
-    heap.pop();
-    if (settled[static_cast<std::size_t>(v)]) continue;
-    settled[static_cast<std::size_t>(v)] = 1;
-    const auto nbrs = g.neighbors(v);
-    const auto incs = g.incident_edges(v);
-    for (std::size_t k = 0; k < nbrs.size(); ++k) {
-      const NodeId w = nbrs[k];
-      if (settled[static_cast<std::size_t>(w)]) continue;
-      const EdgeId e = incs[k];
-      const double ew = weight[static_cast<std::size_t>(e)];
+    const NodeId v = key_id(heap[0]);
+    const double cost = key_cost(heap[0]);
+    const HeapKey tail = heap.back();
+    heap.pop_back();
+    state[static_cast<std::size_t>(v)].pos = kSettled;
+    if (!heap.empty()) sift_down(0, tail);
+    if (settle_only != nullptr &&
+        (*settle_only)[static_cast<std::size_t>(v)] != 0 && --wanted == 0) {
+      break;  // everything the caller reads is final now
+    }
+    const int end = adj->offset[static_cast<std::size_t>(v) + 1];
+    for (int k = adj->offset[static_cast<std::size_t>(v)]; k < end; ++k) {
+      const NodeId w = adj->neighbor[static_cast<std::size_t>(k)];
+      NodeState& ws = state[static_cast<std::size_t>(w)];
+      if (ws.pos == kSettled) continue;
+      const EdgeId e = adj->incident[static_cast<std::size_t>(k)];
+      const double ew = slot_weight != nullptr
+                            ? (*slot_weight)[static_cast<std::size_t>(k)]
+                            : weight[static_cast<std::size_t>(e)];
       FAIRCACHE_DCHECK(ew >= 0, "edge weights must be non-negative");
       const double cand = cost + ew;
-      auto& cur = out.cost[static_cast<std::size_t>(w)];
-      auto& cur_parent = out.parent[static_cast<std::size_t>(w)];
-      if (cand < cur || (cand == cur && v < cur_parent)) {
-        cur = cand;
-        cur_parent = v;
-        out.parent_edge[static_cast<std::size_t>(w)] = e;
-        heap.emplace(cand, w);
+      if (cand < ws.cost || (cand == ws.cost && v < ws.parent)) {
+        ws.cost = cand;
+        ws.parent = v;
+        ws.parent_edge = e;
+        if (ws.pos == kUnvisited) {
+          heap.emplace_back();
+          sift_up(heap.size() - 1, make_key(cand, w));
+        } else {
+          sift_up(static_cast<std::size_t>(ws.pos), make_key(cand, w));
+        }
       }
     }
+  }
+
+  out.cost.resize(n);
+  out.parent.resize(n);
+  out.parent_edge.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out.cost[v] = state[v].cost;
+    out.parent[v] = state[v].parent;
+    out.parent_edge[v] = state[v].parent_edge;
   }
   return out;
 }

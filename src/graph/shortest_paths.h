@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/matrix.h"
 
 namespace faircache::graph {
 
@@ -28,6 +29,13 @@ struct BfsTree {
 
 BfsTree bfs(const Graph& g, NodeId source);
 
+// Hop distances only, written into hops[0..n): no parent vector, no
+// per-call allocation. `queue` is caller-provided scratch (cleared here);
+// passing the same vector across calls amortizes its capacity. Neighbour
+// order (ascending id) and therefore every hop value matches bfs().
+void bfs_hops(const Graph& g, NodeId source, int* hops,
+              std::vector<NodeId>& queue);
+
 // Hop-shortest path from the BFS tree's source to `target`, inclusive of
 // both endpoints; empty if unreachable.
 std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target);
@@ -35,8 +43,11 @@ std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target);
 // Convenience: deterministic hop-shortest path between two nodes.
 std::vector<NodeId> hop_path(const Graph& g, NodeId from, NodeId to);
 
-// All-pairs hop distances via n BFS runs: result[u][v].
-std::vector<std::vector<int>> all_pairs_hops(const Graph& g);
+// All-pairs hop distances via n BFS runs: result[u][v]. The per-source
+// rows are independent and computed in parallel (threads == 0 means the
+// util::parallel_threads() default; the result is identical at any thread
+// count).
+util::Matrix<int> all_pairs_hops(const Graph& g, int threads = 0);
 
 // Nodes within `limit` hops of `source` (including source itself),
 // ascending id — the k-hop neighbourhood used by the distributed algorithm.
@@ -65,8 +76,25 @@ struct EdgeWeightedPaths {
   std::vector<EdgeId> parent_edge;  // edge to parent, -1 if none
 };
 
-EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
-                                        const std::vector<double>& weight);
+// When `settle_only` is non-null (size n, 1 = node of interest), the run
+// stops as soon as every flagged node is settled; cost/parent/parent_edge
+// are then final (and identical to the full run) for every settled node,
+// but unspecified for the rest. Callers that only consume flagged nodes —
+// the Steiner metric closure and its path expansion walk only settled
+// nodes — get bit-identical results for less work.
+//
+// `adj` is an optional pre-built CSR copy of g's adjacency (build_csr):
+// callers running many sources over one graph build it once and amortize
+// the flattening; when null, a local copy is built. `slot_weight` is an
+// optional array aligned with adj.incident (slot_weight[k] =
+// weight[adj.incident[k]]) that turns the per-relaxation weight gather
+// into a contiguous read; it requires `adj`. The result does not depend
+// on whether either is supplied.
+EdgeWeightedPaths dijkstra_edge_weights(
+    const Graph& g, NodeId source, const std::vector<double>& weight,
+    const std::vector<char>* settle_only = nullptr,
+    const CsrAdjacency* adj = nullptr,
+    const std::vector<double>* slot_weight = nullptr);
 
 // Floyd–Warshall over explicit edge weights (dense). Used as an oracle in
 // tests and by the metric-closure construction.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/shortest_paths.h"
+#include "util/parallel.h"
 
 namespace faircache::metrics {
 
@@ -25,49 +26,104 @@ std::vector<double> contention_weights(const graph::Graph& g,
   return w;
 }
 
+namespace {
+
+// Per-worker scratch for the hop-shortest row builder: the BFS frontier
+// (which doubles as the parent-before-child processing order) and a packed
+// (weight, visit stamp) entry per node, reused across all sources a worker
+// handles. The stamp replaces a full kInfCost row pre-fill — each row entry
+// is written exactly once on connected graphs — and packing it next to the
+// node weight makes the relaxation a single-stream read.
+struct HopRowScratch {
+  struct NodeEntry {
+    double weight;
+    int stamp;
+  };
+  std::vector<graph::NodeId> order;
+  std::vector<NodeEntry> node;
+  int generation = 0;
+
+  void init(const std::vector<double>& weight) {
+    node.resize(weight.size());
+    for (std::size_t i = 0; i < weight.size(); ++i) {
+      node[i] = {weight[i], 0};
+    }
+    generation = 0;
+  }
+};
+
+// c_i· row: walk the deterministic BFS tree from i and accumulate weights
+// along parent chains, cost[j] = cost[parent] + w[j], seeded with w[i]
+// charged once a path leaves i. The BFS visit order processes every parent
+// before its children, so the accumulation is a single sweep; each c_ij is
+// the sum of weights along the unique tree path, associated leaf-to-root,
+// which is exactly the value the seed implementation produced.
+void hop_shortest_row(const graph::CsrAdjacency& adj, graph::NodeId i,
+                      double* row, HopRowScratch& scratch) {
+  const std::size_t n = adj.offset.size() - 1;
+  scratch.order.reserve(n);
+  const int gen = ++scratch.generation;
+  scratch.order.clear();
+  HopRowScratch::NodeEntry* node = scratch.node.data();
+  row[static_cast<std::size_t>(i)] = 0.0;
+  node[static_cast<std::size_t>(i)].stamp = gen;
+  scratch.order.push_back(i);
+  const int* offset = adj.offset.data();
+  const graph::NodeId* neighbor = adj.neighbor.data();
+  for (std::size_t head = 0; head < scratch.order.size(); ++head) {
+    const graph::NodeId v = scratch.order[head];
+    const double base = v == i ? node[static_cast<std::size_t>(i)].weight
+                               : row[static_cast<std::size_t>(v)];
+    const int end = offset[v + 1];
+    for (int k = offset[v]; k < end; ++k) {  // ascending id — deterministic
+      const auto wi = static_cast<std::size_t>(neighbor[k]);
+      if (node[wi].stamp == gen) continue;
+      node[wi].stamp = gen;
+      row[wi] = base + node[wi].weight;
+      scratch.order.push_back(neighbor[k]);
+    }
+  }
+  if (scratch.order.size() < n) {  // disconnected graph: unreached = ∞
+    for (std::size_t j = 0; j < n; ++j) {
+      if (node[j].stamp != gen) row[j] = graph::kInfCost;
+    }
+  }
+}
+
+}  // namespace
+
 ContentionMatrix::ContentionMatrix(const graph::Graph& g,
-                                   const CacheState& state, PathPolicy policy)
+                                   const CacheState& state, PathPolicy policy,
+                                   int threads)
     : policy_(policy) {
   const auto n = static_cast<std::size_t>(g.num_nodes());
   const std::vector<double> weight = contention_weights(g, state);
-  cost_.assign(n, std::vector<double>(n, 0.0));
+  // Every entry is written below (the row builders cover unreachable nodes
+  // explicitly), so skip the 8n² zero fill.
+  cost_.assign_no_init(n, n);
+  threads = util::resolve_parallel_threads(threads, n);
 
   if (policy == PathPolicy::kHopShortest) {
-    // c_ij: walk the deterministic BFS tree from i and accumulate weights.
-    for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
-      const graph::BfsTree tree = graph::bfs(g, i);
-      // Accumulate along parent pointers: cost[j] = cost[parent] + w[j],
-      // seeded with w[i] charged once a path leaves i.
-      std::vector<double> acc(n, 0.0);
-      // BFS order guarantees parents are finalized before children; redo a
-      // BFS-ordered sweep using hop levels.
-      std::vector<graph::NodeId> order(g.num_nodes());
-      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) order[v] = v;
-      std::stable_sort(order.begin(), order.end(),
-                       [&](graph::NodeId a, graph::NodeId b) {
-                         return tree.hops[static_cast<std::size_t>(a)] <
-                                tree.hops[static_cast<std::size_t>(b)];
-                       });
-      for (graph::NodeId v : order) {
-        const auto vi = static_cast<std::size_t>(v);
-        if (tree.hops[vi] == graph::kUnreachable || v == i) continue;
-        const graph::NodeId p = tree.parent[vi];
-        const double base = p == i ? weight[static_cast<std::size_t>(i)]
-                                   : acc[static_cast<std::size_t>(p)];
-        acc[vi] = base + weight[vi];
-      }
-      for (graph::NodeId j = 0; j < g.num_nodes(); ++j) {
-        cost_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
-            tree.hops[static_cast<std::size_t>(j)] == graph::kUnreachable
-                ? graph::kInfCost
-                : acc[static_cast<std::size_t>(j)];
-      }
-    }
+    const graph::CsrAdjacency adj = graph::build_csr(g);
+    std::vector<HopRowScratch> scratch(static_cast<std::size_t>(threads));
+    for (HopRowScratch& s : scratch) s.init(weight);
+    util::parallel_for(
+        n,
+        [&](std::size_t i, int worker) {
+          hop_shortest_row(adj, static_cast<graph::NodeId>(i), cost_[i],
+                           scratch[static_cast<std::size_t>(worker)]);
+        },
+        threads);
   } else {
-    for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
-      const auto paths = graph::dijkstra_node_weights(g, i, weight);
-      cost_[static_cast<std::size_t>(i)] = paths.cost;
-    }
+    util::parallel_for(
+        n,
+        [&](std::size_t i) {
+          const auto paths =
+              graph::dijkstra_node_weights(g, static_cast<graph::NodeId>(i),
+                                           weight);
+          std::copy(paths.cost.begin(), paths.cost.end(), cost_[i]);
+        },
+        threads);
   }
 
   // Dissemination edge costs.
@@ -80,10 +136,9 @@ ContentionMatrix::ContentionMatrix(const graph::Graph& g,
   }
 
   max_cost_ = 0.0;
-  for (const auto& row : cost_) {
-    for (double c : row) {
-      if (c != graph::kInfCost) max_cost_ = std::max(max_cost_, c);
-    }
+  for (const double* it = cost_.data(); it != cost_.data() + cost_.size();
+       ++it) {
+    if (*it != graph::kInfCost) max_cost_ = std::max(max_cost_, *it);
   }
 }
 

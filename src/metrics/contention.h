@@ -10,10 +10,12 @@
 // cost used for the dissemination Steiner tree is the path cost of the
 // two-node path: c_e = w_u(1+S(u)) + w_v(1+S(v)).
 
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "metrics/cache_state.h"
+#include "util/matrix.h"
 
 namespace faircache::metrics {
 
@@ -33,25 +35,35 @@ enum class PathPolicy {
 };
 
 // Dense matrix of path contention costs c_ij for the current cache state.
+// The n per-source rows are independent single-source traversals and are
+// built in parallel (threads == 0 means the util::parallel_threads()
+// default); every entry is bit-identical at any thread count.
 class ContentionMatrix {
  public:
   ContentionMatrix(const graph::Graph& g, const CacheState& state,
-                   PathPolicy policy = PathPolicy::kHopShortest);
+                   PathPolicy policy = PathPolicy::kHopShortest,
+                   int threads = 0);
 
   double cost(graph::NodeId i, graph::NodeId j) const {
-    return cost_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    return cost_(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
   }
-  const std::vector<std::vector<double>>& matrix() const { return cost_; }
+  const util::Matrix<double>& matrix() const { return cost_; }
 
   // Dissemination edge cost c_e for every edge of the graph.
   const std::vector<double>& edge_costs() const { return edge_cost_; }
+
+  // Destructive accessors for consumers that own the data afterwards
+  // (instance building): steal the buffers instead of copying n² doubles.
+  // The ContentionMatrix is empty afterwards.
+  util::Matrix<double> take_matrix() { return std::move(cost_); }
+  std::vector<double> take_edge_costs() { return std::move(edge_cost_); }
 
   double max_cost() const { return max_cost_; }
 
   PathPolicy policy() const { return policy_; }
 
  private:
-  std::vector<std::vector<double>> cost_;
+  util::Matrix<double> cost_;
   std::vector<double> edge_cost_;
   double max_cost_ = 0.0;
   PathPolicy policy_;

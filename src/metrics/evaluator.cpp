@@ -2,6 +2,7 @@
 
 #include "graph/shortest_paths.h"
 #include "steiner/steiner.h"
+#include "util/parallel.h"
 
 namespace faircache::metrics {
 
@@ -12,11 +13,19 @@ PlacementEvaluation evaluate_placement(const graph::Graph& g,
                   "cache state / graph size mismatch");
   FAIRCACHE_CHECK(options.num_chunks >= 0, "negative chunk count");
 
-  const ContentionMatrix contention(g, state, options.path_policy);
+  const ContentionMatrix contention(g, state, options.path_policy,
+                                    options.threads);
   const graph::NodeId producer = state.producer();
 
   PlacementEvaluation eval;
   eval.per_chunk.reserve(static_cast<std::size_t>(options.num_chunks));
+
+  // Per-client cheapest-source results, filled in parallel and then
+  // accumulated sequentially in client order so the access-cost sum keeps
+  // a fixed floating-point order.
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<double> best_cost(n);
+  std::vector<graph::NodeId> best_source(n);
 
   for (ChunkId chunk = 0; chunk < options.num_chunks; ++chunk) {
     ChunkEvaluation ce;
@@ -36,27 +45,43 @@ PlacementEvaluation evaluate_placement(const graph::Graph& g,
     sources.push_back(producer);  // producer always has every chunk
 
     // Access phase: every node fetches the chunk from its cheapest source.
+    // The per-client scans are independent; run them in parallel.
+    util::parallel_for(
+        n,
+        [&](std::size_t ji) {
+          const auto j = static_cast<graph::NodeId>(ji);
+          best_source[ji] = graph::kInvalidNode;
+          if (options.alive != nullptr && (*options.alive)[ji] == 0) {
+            return;  // casualties consume nothing
+          }
+          if (j == producer) return;  // holds everything locally
+          double best = graph::kInfCost;
+          graph::NodeId best_i = graph::kInvalidNode;
+          for (graph::NodeId i : sources) {
+            const double c = contention.cost(i, j);
+            if (c < best || (c == best && i < best_i)) {
+              best = c;
+              best_i = i;
+            }
+          }
+          best_cost[ji] = best;
+          best_source[ji] = best_i;
+        },
+        options.threads);
     for (graph::NodeId j = 0; j < g.num_nodes(); ++j) {
       if (options.alive != nullptr &&
           (*options.alive)[static_cast<std::size_t>(j)] == 0) {
-        continue;  // casualties consume nothing
+        continue;
       }
       if (j == producer) {
         ce.assignment[static_cast<std::size_t>(j)] = producer;
-        continue;  // the producer holds everything locally
+        continue;
       }
-      double best = graph::kInfCost;
-      graph::NodeId best_source = graph::kInvalidNode;
-      for (graph::NodeId i : sources) {
-        const double c = contention.cost(i, j);
-        if (c < best || (c == best && i < best_source)) {
-          best = c;
-          best_source = i;
-        }
-      }
-      FAIRCACHE_CHECK(best_source != graph::kInvalidNode,
+      FAIRCACHE_CHECK(best_source[static_cast<std::size_t>(j)] !=
+                          graph::kInvalidNode,
                       "no reachable source for chunk");
-      ce.assignment[static_cast<std::size_t>(j)] = best_source;
+      ce.assignment[static_cast<std::size_t>(j)] =
+          best_source[static_cast<std::size_t>(j)];
       double demand = 1.0;
       if (options.access_demand != nullptr) {
         FAIRCACHE_CHECK(static_cast<std::size_t>(chunk) <
@@ -65,12 +90,12 @@ PlacementEvaluation evaluate_placement(const graph::Graph& g,
         demand = (*options.access_demand)[static_cast<std::size_t>(chunk)]
                                          [static_cast<std::size_t>(j)];
       }
-      ce.access_cost += demand * best;
+      ce.access_cost += demand * best_cost[static_cast<std::size_t>(j)];
     }
 
     // Dissemination phase: Steiner tree from the producer to all holders.
-    const steiner::SteinerTree tree =
-        steiner::steiner_mst_approx(g, contention.edge_costs(), sources);
+    const steiner::SteinerTree tree = steiner::steiner_mst_approx(
+        g, contention.edge_costs(), sources, options.threads);
     ce.dissemination_cost = tree.cost;
 
     eval.access_cost += ce.access_cost;

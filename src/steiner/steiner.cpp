@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "graph/shortest_paths.h"
+#include "util/parallel.h"
 
 namespace faircache::steiner {
 
@@ -54,7 +55,7 @@ struct DisjointSet {
 
 SteinerTree steiner_mst_approx(const Graph& g,
                                const std::vector<double>& edge_weight,
-                               std::vector<NodeId> terminals) {
+                               std::vector<NodeId> terminals, int threads) {
   FAIRCACHE_CHECK(static_cast<int>(edge_weight.size()) == g.num_edges(),
                   "edge weight vector size mismatch");
   std::sort(terminals.begin(), terminals.end());
@@ -68,58 +69,96 @@ SteinerTree steiner_mst_approx(const Graph& g,
   SteinerTree result;
   if (terminals.size() == 1) return result;
 
-  // 1. Shortest-path trees from every terminal.
-  std::vector<graph::EdgeWeightedPaths> trees;
-  trees.reserve(terminals.size());
+  // 1. Shortest-path trees from every terminal — independent single-source
+  // runs, computed in parallel. Each run may stop once every terminal is
+  // settled: the closure weights below read only terminal costs, and the
+  // expansion step walks parent chains of settled nodes, both final by
+  // then.
+  std::vector<char> is_terminal_flag(static_cast<std::size_t>(g.num_nodes()),
+                                     0);
   for (NodeId t : terminals) {
-    trees.push_back(graph::dijkstra_edge_weights(g, t, edge_weight));
+    is_terminal_flag[static_cast<std::size_t>(t)] = 1;
   }
-  for (std::size_t a = 0; a < terminals.size(); ++a) {
-    for (std::size_t b = a + 1; b < terminals.size(); ++b) {
-      FAIRCACHE_CHECK(
-          trees[a].cost[static_cast<std::size_t>(terminals[b])] != kInfCost,
-          "terminals are not mutually reachable");
-    }
+  const graph::CsrAdjacency adj = graph::build_csr(g);
+  std::vector<double> slot_weight(adj.incident.size());
+  for (std::size_t k = 0; k < adj.incident.size(); ++k) {
+    slot_weight[k] = edge_weight[static_cast<std::size_t>(adj.incident[k])];
   }
-
-  // 2. MST of the terminal metric closure (Kruskal, deterministic order).
-  struct ClosureEdge {
-    double w;
-    std::size_t a, b;
+  std::vector<graph::EdgeWeightedPaths> trees(terminals.size());
+  util::parallel_for(
+      terminals.size(),
+      [&](std::size_t t) {
+        trees[t] =
+            graph::dijkstra_edge_weights(g, terminals[t], edge_weight,
+                                         &is_terminal_flag, &adj, &slot_weight);
+      },
+      threads);
+  // 2. MST of the terminal metric closure. Closure edge {a, b} (a < b)
+  // carries the triple (w, a, b) with w = trees[a].cost[terminals[b]];
+  // (w, a, b) is a strict total order, so the MST under it is unique and
+  // any cut-rule algorithm finds it. Prim with full-triple comparisons
+  // therefore selects exactly the edges Kruskal over the sorted closure
+  // would, without materializing or sorting the T² edge list. The edge set
+  // produced by the expansion below is sorted and deduplicated afterwards,
+  // so discovery order does not matter either.
+  const std::size_t nt = terminals.size();
+  std::vector<char> in_tree(nt, 0);
+  std::vector<double> key_w(nt, kInfCost);  // best crossing edge per node
+  std::vector<std::size_t> key_a(nt, 0), key_b(nt, 0);
+  std::vector<EdgeId> union_edges;
+  const auto closure_cost = [&](std::size_t a, std::size_t b) {
+    return trees[a].cost[static_cast<std::size_t>(terminals[b])];
   };
-  std::vector<ClosureEdge> closure;
-  for (std::size_t a = 0; a < terminals.size(); ++a) {
-    for (std::size_t b = a + 1; b < terminals.size(); ++b) {
-      closure.push_back(
-          {trees[a].cost[static_cast<std::size_t>(terminals[b])], a, b});
-    }
+  in_tree[0] = 1;
+  for (std::size_t u = 1; u < nt; ++u) {
+    key_w[u] = closure_cost(0, u);
+    key_a[u] = 0;
+    key_b[u] = u;
   }
-  std::stable_sort(closure.begin(), closure.end(),
-                   [](const ClosureEdge& x, const ClosureEdge& y) {
-                     return std::tie(x.w, x.a, x.b) <
-                            std::tie(y.w, y.a, y.b);
-                   });
-  DisjointSet dsu(terminals.size());
-  std::set<EdgeId> union_edges;
-  for (const ClosureEdge& ce : closure) {
-    if (!dsu.unite(ce.a, ce.b)) continue;
-    // 3. Expand the closure edge into real graph edges along the shortest
-    // path from terminal a to terminal b.
-    const auto& tree = trees[ce.a];
-    for (NodeId v = terminals[ce.b]; v != tree.source;
+  for (std::size_t added = 1; added < nt; ++added) {
+    std::size_t o = nt;
+    for (std::size_t u = 0; u < nt; ++u) {
+      if (in_tree[u]) continue;
+      if (o == nt ||
+          std::tie(key_w[u], key_a[u], key_b[u]) <
+              std::tie(key_w[o], key_a[o], key_b[o])) {
+        o = u;
+      }
+    }
+    FAIRCACHE_CHECK(key_w[o] != kInfCost,
+                    "terminals are not mutually reachable");
+    in_tree[o] = 1;
+    // 3. Expand the selected closure edge into real graph edges along the
+    // shortest path from terminal key_a[o] to terminal key_b[o].
+    const auto& tree = trees[key_a[o]];
+    for (NodeId v = terminals[key_b[o]]; v != tree.source;
          v = tree.parent[static_cast<std::size_t>(v)]) {
-      union_edges.insert(tree.parent_edge[static_cast<std::size_t>(v)]);
+      union_edges.push_back(tree.parent_edge[static_cast<std::size_t>(v)]);
+    }
+    for (std::size_t u = 0; u < nt; ++u) {
+      if (in_tree[u]) continue;
+      const std::size_t a = std::min(o, u);
+      const std::size_t b = std::max(o, u);
+      const double w = closure_cost(a, b);
+      if (std::tie(w, a, b) < std::tie(key_w[u], key_a[u], key_b[u])) {
+        key_w[u] = w;
+        key_a[u] = a;
+        key_b[u] = b;
+      }
     }
   }
+  std::sort(union_edges.begin(), union_edges.end());
+  union_edges.erase(std::unique(union_edges.begin(), union_edges.end()),
+                    union_edges.end());
 
   // 4. MST of the union subgraph (it may contain cycles after expansion).
-  std::vector<EdgeId> candidates(union_edges.begin(), union_edges.end());
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](EdgeId x, EdgeId y) {
-                     const double wx = edge_weight[static_cast<std::size_t>(x)];
-                     const double wy = edge_weight[static_cast<std::size_t>(y)];
-                     return std::tie(wx, x) < std::tie(wy, y);
-                   });
+  std::vector<EdgeId> candidates = std::move(union_edges);
+  std::sort(candidates.begin(), candidates.end(),
+            [&](EdgeId x, EdgeId y) {
+              const double wx = edge_weight[static_cast<std::size_t>(x)];
+              const double wy = edge_weight[static_cast<std::size_t>(y)];
+              return std::tie(wx, x) < std::tie(wy, y);
+            });
   DisjointSet node_dsu(static_cast<std::size_t>(g.num_nodes()));
   std::vector<EdgeId> tree_edges;
   for (EdgeId e : candidates) {

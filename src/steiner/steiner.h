@@ -33,9 +33,13 @@ struct SteinerTree {
 
 // 2-approximate Steiner tree connecting `terminals` (deduplicated; must be
 // non-empty and mutually reachable). A single terminal yields an empty tree.
+// The per-terminal shortest-path trees are computed in parallel (threads ==
+// 0 means the util::parallel_threads() default); the result is bit-identical
+// at any thread count.
 SteinerTree steiner_mst_approx(const graph::Graph& g,
                                const std::vector<double>& edge_weight,
-                               std::vector<graph::NodeId> terminals);
+                               std::vector<graph::NodeId> terminals,
+                               int threads = 0);
 
 // Exact minimum Steiner tree cost via the Dreyfus–Wagner dynamic program.
 // Complexity O(3^t · n + 2^t · n²); keep |terminals| small (≤ ~12).

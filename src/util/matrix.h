@@ -1,0 +1,106 @@
+#pragma once
+
+// Contiguous row-major matrix. Replaces std::vector<std::vector<T>> on the
+// solver hot paths (assignment costs, β/γ duals, hop tables): one allocation
+// instead of n+1, and rows that are adjacent in memory, so row scans are
+// cache-linear and row views are raw pointers.
+//
+// operator[](r) returns a pointer to the row, which keeps the familiar
+// m[i][j] syntax of the nested-vector representation working unchanged.
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace faircache::util {
+
+// Allocator adaptor that default-initializes (rather than value-initializes)
+// on vector resize: trivial element types are left uninitialized, so
+// Matrix::assign_no_init can re-shape a large matrix without a redundant
+// fill when the caller overwrites every entry anyway.
+template <typename T, typename Alloc = std::allocator<T>>
+struct DefaultInitAllocator : Alloc {
+  using Alloc::Alloc;
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename std::allocator_traits<
+                                    Alloc>::template rebind_alloc<U>>;
+  };
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<Alloc>::construct(static_cast<Alloc&>(*this), ptr,
+                                            std::forward<Args>(args)...);
+  }
+};
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T value = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  // Re-shape and fill (mirrors std::vector::assign).
+  void assign(std::size_t rows, std::size_t cols, T value = T{}) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, value);
+  }
+
+  // Re-shape without filling: entries are uninitialized (for trivial T) and
+  // must all be written before being read. For builders that overwrite the
+  // whole matrix, this skips a full-size redundant fill.
+  void assign_no_init(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.clear();
+    data_.resize(rows * cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T* operator[](std::size_t row) {
+    FAIRCACHE_DCHECK(row < rows_, "matrix row out of range");
+    return data_.data() + row * cols_;
+  }
+  const T* operator[](std::size_t row) const {
+    FAIRCACHE_DCHECK(row < rows_, "matrix row out of range");
+    return data_.data() + row * cols_;
+  }
+
+  T& operator()(std::size_t row, std::size_t col) {
+    FAIRCACHE_DCHECK(row < rows_ && col < cols_, "matrix index out of range");
+    return data_[row * cols_ + col];
+  }
+  const T& operator()(std::size_t row, std::size_t col) const {
+    FAIRCACHE_DCHECK(row < rows_ && col < cols_, "matrix index out of range");
+    return data_[row * cols_ + col];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T, DefaultInitAllocator<T>> data_;
+};
+
+}  // namespace faircache::util

@@ -1,0 +1,162 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace faircache::util {
+
+namespace {
+
+int env_threads() {
+  const char* env = std::getenv("FAIRCACHE_THREADS");
+  if (env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<int>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+std::atomic<int> g_override{0};
+
+thread_local bool tls_on_worker = false;
+
+// Shared fork-join pool. Workers are spawned on demand up to the largest
+// thread count ever requested and park on a condition variable between
+// jobs; one job runs at a time (parallel_for is a blocking call and nested
+// calls run inline), so a single job slot suffices.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool* pool = new Pool();  // leaked: workers may outlive statics
+    return *pool;
+  }
+
+  void run(std::size_t n, int threads,
+           const std::function<void(std::size_t, int)>& fn) {
+    std::unique_lock<std::mutex> gate(run_mutex_);  // one job at a time
+    ensure_workers(threads - 1);
+
+    fn_ = &fn;
+    n_ = n;
+    chunk_ = n / (static_cast<std::size_t>(threads) * 8);
+    if (chunk_ == 0) chunk_ = 1;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      participants_ = threads - 1;
+      pending_ = threads - 1;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+
+    // The caller is worker 0. While it participates it counts as a pool
+    // worker so that nested parallel_for calls from its own slice run
+    // inline instead of re-entering run_mutex_.
+    tls_on_worker = true;
+    work(/*worker=*/0);
+    tls_on_worker = false;
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] { return pending_ == 0; });
+    }
+    fn_ = nullptr;
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  Pool() = default;
+
+  void ensure_workers(int count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (static_cast<int>(workers_.size()) < count) {
+      const int id = static_cast<int>(workers_.size()) + 1;
+      workers_.emplace_back([this, id] { worker_loop(id); });
+    }
+  }
+
+  void worker_loop(int id) {
+    tls_on_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (id > participants_) continue;  // job wants fewer workers
+      }
+      work(id);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  void work(int worker) {
+    const auto& fn = *fn_;
+    for (;;) {
+      const std::size_t begin =
+          next_.fetch_add(chunk_, std::memory_order_relaxed);
+      if (begin >= n_) break;
+      std::size_t end = begin + chunk_;
+      if (end > n_) end = n_;
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+        // Keep draining: other indices may still be claimed, but failing
+        // fast here would leave them unrun anyway; just stop this worker.
+        break;
+      }
+    }
+  }
+
+  std::mutex run_mutex_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::uint64_t generation_ = 0;
+  int participants_ = 0;
+  int pending_ = 0;
+
+  const std::function<void(std::size_t, int)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+int parallel_threads() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  return env_threads();
+}
+
+void set_parallel_threads(int threads) {
+  g_override.store(threads > 0 ? threads : 0, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+bool on_pool_worker() { return tls_on_worker; }
+
+void parallel_for_impl(std::size_t n, int threads,
+                       const std::function<void(std::size_t, int)>& fn) {
+  Pool::instance().run(n, threads, fn);
+}
+
+}  // namespace internal
+
+}  // namespace faircache::util

@@ -1,0 +1,395 @@
+// Tests for the parallel, allocation-lean solver core: util::Matrix,
+// util::parallel_for, the CSR/partial Dijkstra fast paths, and — most
+// importantly — the determinism contract: the active-set solve_confl is
+// bit-identical to the dense reference engine and to itself at every
+// thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "confl/confl.h"
+#include "core/approx.h"
+#include "core/instance_builder.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "metrics/contention.h"
+#include "steiner/steiner.h"
+#include "util/matrix.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace faircache {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Connected random geometric network, the workload shape the benchmarks use.
+graph::GeometricNetwork random_net(int n, util::Rng& rng) {
+  graph::RandomGeometricConfig config;
+  config.num_nodes = n;
+  config.radius = 0.3;
+  return graph::make_random_geometric(config, rng);
+}
+
+// ---------------------------------------------------------------- Matrix --
+
+TEST(MatrixTest, ShapeAndAccessors) {
+  util::Matrix<double> m(3, 4, 0.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_FALSE(m.empty());
+  EXPECT_DOUBLE_EQ(m(2, 3), 0.5);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m[1][2], 7.0);   // row-pointer syntax
+  EXPECT_EQ(m[1], m.data() + 4);    // rows are contiguous and adjacent
+  EXPECT_EQ(m[2], m.data() + 8);
+}
+
+TEST(MatrixTest, AssignReshapesAndFills) {
+  util::Matrix<int> m;
+  EXPECT_TRUE(m.empty());
+  m.assign(2, 3, 9);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 9);
+  }
+  m.assign(1, 1, -1);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m(0, 0), -1);
+}
+
+TEST(MatrixTest, AssignNoInitIsWritable) {
+  util::Matrix<double> m;
+  m.assign_no_init(5, 5);
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      m(i, j) = static_cast<double>(i * 5 + j);
+    }
+  }
+  EXPECT_DOUBLE_EQ(m(4, 4), 24.0);
+}
+
+TEST(MatrixTest, Equality) {
+  util::Matrix<int> a(2, 2, 1);
+  util::Matrix<int> b(2, 2, 1);
+  EXPECT_TRUE(a == b);
+  b(0, 1) = 2;
+  EXPECT_FALSE(a == b);
+}
+
+// ----------------------------------------------------------- parallel_for --
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  util::parallel_for(
+      kN, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, WorkerIdsAreDense) {
+  constexpr std::size_t kN = 512;
+  const int threads = util::resolve_parallel_threads(4, kN);
+  std::vector<std::atomic<int>> per_worker(static_cast<std::size_t>(threads));
+  util::parallel_for(
+      kN,
+      [&](std::size_t, int worker) {
+        ASSERT_GE(worker, 0);
+        ASSERT_LT(worker, threads);
+        per_worker[static_cast<std::size_t>(worker)].fetch_add(1);
+      },
+      threads);
+  int total = 0;
+  for (auto& c : per_worker) total += c.load();
+  EXPECT_EQ(total, static_cast<int>(kN));
+}
+
+TEST(ParallelForTest, NestedCallsDegradeToSerial) {
+  std::atomic<int> count{0};
+  util::parallel_for(
+      8,
+      [&](std::size_t) {
+        // The nested loop must complete inline without deadlocking.
+        util::parallel_for(16, [&](std::size_t) { count.fetch_add(1); }, 4);
+      },
+      2);
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      util::parallel_for(
+          64,
+          [](std::size_t i) {
+            if (i == 33) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ResolveClampsToRange) {
+  EXPECT_EQ(util::resolve_parallel_threads(8, 3), 3);
+  EXPECT_EQ(util::resolve_parallel_threads(2, 100), 2);
+  EXPECT_GE(util::resolve_parallel_threads(0, 100), 1);
+}
+
+// ------------------------------------------------- graph fast paths ------
+
+TEST(AllPairsHopsTest, MatchesBfsOracle) {
+  util::Rng rng(7);
+  const auto net = random_net(60, rng);
+  const Graph& g = net.graph;
+  const util::Matrix<int> hops = graph::all_pairs_hops(g, 3);
+  for (NodeId v = 0; v < g.num_nodes(); v += 7) {
+    const graph::BfsTree tree = graph::bfs(g, v);
+    for (NodeId w = 0; w < g.num_nodes(); ++w) {
+      EXPECT_EQ(hops(static_cast<std::size_t>(v), static_cast<std::size_t>(w)),
+                tree.hops[static_cast<std::size_t>(w)]);
+    }
+  }
+}
+
+TEST(AllPairsHopsTest, ThreadCountDoesNotChangeResult) {
+  const Graph g = graph::make_grid(9, 7);
+  const util::Matrix<int> one = graph::all_pairs_hops(g, 1);
+  const util::Matrix<int> many = graph::all_pairs_hops(g, 8);
+  EXPECT_TRUE(one == many);
+}
+
+TEST(DijkstraEdgeWeightsTest, SettleOnlyMatchesFullRunOnFlaggedNodes) {
+  const Graph g = graph::make_grid(8, 8);
+  util::Rng rng(21);
+  std::vector<double> weight(static_cast<std::size_t>(g.num_edges()));
+  for (double& w : weight) w = rng.uniform(0.5, 4.0);
+
+  std::vector<char> flags(static_cast<std::size_t>(g.num_nodes()), 0);
+  const std::vector<NodeId> targets = {3, 17, 40, 63};
+  for (NodeId t : targets) flags[static_cast<std::size_t>(t)] = 1;
+
+  const auto full = graph::dijkstra_edge_weights(g, 0, weight);
+  const auto part = graph::dijkstra_edge_weights(g, 0, weight, &flags);
+  for (NodeId t : targets) {
+    const auto ti = static_cast<std::size_t>(t);
+    EXPECT_EQ(full.cost[ti], part.cost[ti]);  // bitwise
+    EXPECT_EQ(full.parent[ti], part.parent[ti]);
+    EXPECT_EQ(full.parent_edge[ti], part.parent_edge[ti]);
+  }
+}
+
+TEST(DijkstraEdgeWeightsTest, CsrAndSlotWeightsDoNotChangeResult) {
+  util::Rng rng(5);
+  const auto net = random_net(50, rng);
+  const Graph& g = net.graph;
+  std::vector<double> weight(static_cast<std::size_t>(g.num_edges()));
+  for (double& w : weight) w = rng.uniform(0.1, 2.0);
+
+  const graph::CsrAdjacency adj = graph::build_csr(g);
+  std::vector<double> slot(adj.incident.size());
+  for (std::size_t k = 0; k < slot.size(); ++k) {
+    slot[k] = weight[static_cast<std::size_t>(adj.incident[k])];
+  }
+  const auto plain = graph::dijkstra_edge_weights(g, 4, weight);
+  const auto fast =
+      graph::dijkstra_edge_weights(g, 4, weight, nullptr, &adj, &slot);
+  EXPECT_EQ(plain.cost, fast.cost);  // bitwise, via vector ==
+  EXPECT_EQ(plain.parent, fast.parent);
+  EXPECT_EQ(plain.parent_edge, fast.parent_edge);
+}
+
+TEST(BuildCsrTest, MatchesAdjacencyLists) {
+  const Graph g = graph::make_grid(5, 6);
+  const graph::CsrAdjacency adj = graph::build_csr(g);
+  ASSERT_EQ(adj.offset.size(), static_cast<std::size_t>(g.num_nodes()) + 1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto incs = g.incident_edges(v);
+    const auto begin = static_cast<std::size_t>(adj.offset[v]);
+    ASSERT_EQ(adj.offset[v + 1] - adj.offset[v],
+              static_cast<int>(nbrs.size()));
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      EXPECT_EQ(adj.neighbor[begin + k], nbrs[k]);
+      EXPECT_EQ(adj.incident[begin + k], incs[k]);
+    }
+  }
+}
+
+// ----------------------------------------------- contention determinism --
+
+TEST(ContentionMatrixTest, ThreadCountDoesNotChangeResult) {
+  util::Rng rng(11);
+  const auto net = random_net(70, rng);
+  const Graph& g = net.graph;
+  metrics::CacheState state(g.num_nodes(), 3, 0);
+  state.add(5, 0);
+  state.add(9, 0);
+  for (auto policy :
+       {metrics::PathPolicy::kHopShortest, metrics::PathPolicy::kMinContention}) {
+    const metrics::ContentionMatrix serial(g, state, policy, 1);
+    const metrics::ContentionMatrix parallel(g, state, policy, 8);
+    EXPECT_TRUE(serial.matrix() == parallel.matrix());  // bitwise
+    EXPECT_EQ(serial.edge_costs(), parallel.edge_costs());
+    EXPECT_EQ(serial.max_cost(), parallel.max_cost());
+  }
+}
+
+TEST(ContentionMatrixTest, TakeMatrixStealsBuffer) {
+  const Graph g = graph::make_grid(4, 4);
+  const metrics::CacheState state(g.num_nodes(), 2, 0);
+  metrics::ContentionMatrix contention(g, state);
+  const util::Matrix<double> copy = contention.matrix();
+  util::Matrix<double> taken = contention.take_matrix();
+  EXPECT_TRUE(copy == taken);
+  EXPECT_TRUE(contention.matrix().empty());
+}
+
+// ------------------------------------------- solver engine equivalence --
+
+// Random ConFL instance over a connected geometric network: varying facility
+// costs (some infinite), client weights (some zero), and edge scales.
+confl::ConflInstance random_instance(const Graph& g, util::Rng& rng,
+                                     bool weighted) {
+  metrics::CacheState state(g.num_nodes(), 4, 0);
+  metrics::ContentionMatrix contention(g, state);
+  confl::ConflInstance instance;
+  instance.network = &g;
+  instance.root = static_cast<NodeId>(
+      rng.uniform_int(0, g.num_nodes() - 1));
+  instance.facility_cost.resize(static_cast<std::size_t>(g.num_nodes()));
+  for (auto& f : instance.facility_cost) {
+    f = rng.bernoulli(0.2) ? kInf : rng.uniform(0.5, 30.0);
+  }
+  instance.facility_cost[static_cast<std::size_t>(instance.root)] = kInf;
+  instance.assign_cost = contention.take_matrix();
+  instance.edge_cost = contention.take_edge_costs();
+  instance.edge_scale = rng.bernoulli(0.5) ? 1.0 : rng.uniform(0.5, 3.0);
+  if (weighted) {
+    instance.client_weight.resize(static_cast<std::size_t>(g.num_nodes()));
+    for (auto& w : instance.client_weight) {
+      w = rng.bernoulli(0.15) ? 0.0 : rng.uniform(0.25, 4.0);
+    }
+  }
+  return instance;
+}
+
+void expect_identical_solutions(const confl::ConflSolution& a,
+                                const confl::ConflSolution& b) {
+  EXPECT_EQ(a.open_facilities, b.open_facilities);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.tree.edges, b.tree.edges);
+  EXPECT_EQ(a.rounds, b.rounds);
+  // Bitwise cost equality — both engines must execute the same FP ops.
+  EXPECT_EQ(a.facility_cost, b.facility_cost);
+  EXPECT_EQ(a.assignment_cost, b.assignment_cost);
+  EXPECT_EQ(a.tree_cost, b.tree_cost);
+}
+
+TEST(SolveConflEquivalenceTest, ActiveSetMatchesReferenceOnRandomInstances) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(8, 40));
+    const auto net = random_net(n, rng);
+    const Graph& g = net.graph;
+    const confl::ConflInstance instance =
+        random_instance(g, rng, /*weighted=*/trial % 2 == 1);
+
+    confl::ConflOptions options;
+    options.growth = trial % 3 == 0 ? confl::GrowthMode::kFixedStep
+                                    : confl::GrowthMode::kEventDriven;
+    options.span_threshold = static_cast<int>(rng.uniform_int(1, 4));
+    if (options.growth == confl::GrowthMode::kFixedStep) {
+      options.alpha_step = rng.bernoulli(0.5) ? 1.0 : 0.25;
+    }
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const confl::ConflSolution fast = confl::solve_confl(instance, options);
+    const confl::ConflSolution ref =
+        confl::solve_confl_reference(instance, options);
+    expect_identical_solutions(fast, ref);
+  }
+}
+
+TEST(SolveConflEquivalenceTest, ThreadCountDoesNotChangeSolution) {
+  const Graph g = graph::make_grid(10, 10);
+  core::FairCachingProblem problem;
+  problem.network = &g;
+  problem.producer = 0;
+  problem.num_chunks = 1;
+  problem.uniform_capacity = 5;
+  const metrics::CacheState state(g.num_nodes(), 5, 0);
+  const confl::ConflInstance instance =
+      core::build_chunk_instance(problem, state, core::InstanceOptions{});
+
+  confl::ConflOptions options;
+  options.growth = confl::GrowthMode::kEventDriven;
+  options.threads = 1;
+  const confl::ConflSolution serial = confl::solve_confl(instance, options);
+  options.threads = 2;
+  const confl::ConflSolution two = confl::solve_confl(instance, options);
+  options.threads = 8;
+  const confl::ConflSolution eight = confl::solve_confl(instance, options);
+  expect_identical_solutions(serial, two);
+  expect_identical_solutions(serial, eight);
+}
+
+// End-to-end: the full approximation pipeline is bit-deterministic across
+// global thread-count settings (the strongest form of the contract).
+TEST(ApproxDeterminismTest, GlobalThreadOverrideDoesNotChangePlacement) {
+  const Graph g = graph::make_grid(8, 8);
+  core::FairCachingProblem problem;
+  problem.network = &g;
+  problem.producer = 0;
+  problem.num_chunks = 3;
+  problem.uniform_capacity = 4;
+
+  auto run_with_threads = [&](int threads) {
+    util::set_parallel_threads(threads);
+    core::ApproxFairCaching appx;
+    return appx.run(problem);
+  };
+  const auto one = run_with_threads(1);
+  const auto two = run_with_threads(2);
+  const auto eight = run_with_threads(8);
+  util::set_parallel_threads(0);  // restore default
+
+  ASSERT_EQ(one.placements.size(), two.placements.size());
+  ASSERT_EQ(one.placements.size(), eight.placements.size());
+  for (std::size_t c = 0; c < one.placements.size(); ++c) {
+    for (const auto* other : {&two, &eight}) {
+      const auto& a = one.placements[c];
+      const auto& b = other->placements[c];
+      EXPECT_EQ(a.cache_nodes, b.cache_nodes);
+      EXPECT_EQ(a.solver_objective, b.solver_objective);  // bitwise
+      EXPECT_EQ(a.solver_rounds, b.solver_rounds);
+    }
+  }
+}
+
+TEST(SteinerTest, ThreadCountDoesNotChangeTree) {
+  util::Rng rng(99);
+  const auto net = random_net(80, rng);
+  const Graph& g = net.graph;
+  std::vector<double> weight(static_cast<std::size_t>(g.num_edges()));
+  for (double& w : weight) w = rng.uniform(0.2, 3.0);
+  std::vector<NodeId> terminals;
+  for (NodeId v = 0; v < g.num_nodes(); v += 5) terminals.push_back(v);
+
+  const auto serial = steiner::steiner_mst_approx(g, weight, terminals, 1);
+  const auto parallel = steiner::steiner_mst_approx(g, weight, terminals, 8);
+  EXPECT_EQ(serial.edges, parallel.edges);
+  EXPECT_EQ(serial.cost, parallel.cost);  // bitwise
+}
+
+}  // namespace
+}  // namespace faircache
