@@ -1,0 +1,89 @@
+// Ablation — anytime solve quality vs. time budget (docs/ROBUSTNESS.md).
+// Sweeps the deterministic work-unit budget of core::ApproxFairCaching::solve
+// on the Fig. 4 random-network configuration and reports, against the
+// unlimited run: how many chunks fell back to the greedy placement, the total
+// contention cost, and both fairness measures (Jain's index and the Gini
+// coefficient of the per-node storage loads). Work units are charged at fixed
+// program points (one per dual-growth round, one per SSSP source), so the
+// sweep is bit-reproducible; wall-clock budgets degrade along the same path.
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "util/deadline.h"
+
+using namespace faircache;
+
+namespace {
+
+struct BudgetPoint {
+  std::string label;
+  util::RunBudget budget;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation — anytime quality vs. work-unit budget "
+               "(random networks, Q = 5, capacity = 5, 5 seeds per size)\n"
+               "degraded = chunks placed by the greedy fallback after the "
+               "budget expired.\n\n";
+
+  util::Table table({"nodes", "budget", "degraded", "avg_total", "vs_unltd",
+                     "jain", "gini"});
+  table.set_precision(3);
+
+  for (const int n : {60, 100}) {
+    constexpr int kSeeds = 5;
+    // Unlimited first so every later row can be reported relative to it.
+    const long caps[] = {-1, 0, 8, 32, 128, 512};  // -1 = unlimited
+
+    double unlimited_total = 0.0;
+    for (const long cap : caps) {
+      double total = 0.0;
+      double jain = 0.0;
+      double gini = 0.0;
+      int degraded = 0;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        util::Rng rng(1000u * static_cast<unsigned>(n) +
+                      static_cast<unsigned>(seed));
+        const auto net = bench::random_network(n, rng);
+        const auto problem = bench::grid_problem(net.graph, 0, 5, 5);
+
+        const util::RunBudget budget =
+            cap < 0 ? util::RunBudget() : util::RunBudget::work_units(cap);
+        core::ApproxFairCaching appx;
+        core::SolveReport report;
+        auto result = appx.solve(problem, budget, &report);
+        if (!result.ok()) {
+          std::cerr << "solve failed: " << result.status().to_string() << '\n';
+          return 1;
+        }
+        degraded += static_cast<int>(report.degraded_chunks.size());
+
+        const auto eval = result.value().evaluate(problem);
+        const auto counts = result.value().state.stored_counts();
+        total += eval.total() / kSeeds;
+        jain += metrics::jains_index(counts) / kSeeds;
+        gini += metrics::gini_coefficient(counts) / kSeeds;
+      }
+      if (cap < 0) unlimited_total = total;
+
+      table.add_row() << n << (cap < 0 ? std::string("unltd")
+                                       : std::to_string(cap))
+                      << degraded << total
+                      << (unlimited_total > 0.0 ? total / unlimited_total
+                                                : 1.0)
+                      << jain << gini;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nA zero budget is the pure greedy fallback; the unlimited "
+               "row is bit-identical\nto ApproxFairCaching::run. Quality "
+               "improves monotonically as the budget grows\nbecause chunks "
+               "are solved in a fixed order and each completed ConFL "
+               "solution is\nkept when the budget expires mid-run.\n";
+  return 0;
+}

@@ -46,8 +46,9 @@ int main() {
   sim::DistributedFairCaching dist(config);
   const core::FairCachingResult result = dist.run(problem);
   const auto eval = result.evaluate(problem);
-  const auto report =
-      metrics::make_degradation_report(result.coverage(), eval, base_eval);
+  const auto report = metrics::make_degradation_report(
+      result.coverage(), eval, base_eval, dist.protocol_outcome(),
+      dist.message_stats().forced_freezes);
 
   std::cout << "Distributed fair caching on a 6x6 grid under 15% loss + "
                "churn\n(node 21 reboots, node 12 crashes for good)\n\n";
@@ -75,6 +76,9 @@ int main() {
   table.add_row() << "watchdog force-freezes" << stats.forced_freezes;
   table.add_row() << "sources repaired" << stats.repaired_sources;
   table.print(std::cout);
+
+  std::cout << "\nprotocol outcome: " << report.protocol_outcome.to_string()
+            << '\n';
 
   std::cout << "\nEvery surviving node still has a live source for every "
                "chunk (coverage = "

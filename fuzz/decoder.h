@@ -1,0 +1,98 @@
+#pragma once
+
+// Compact byte decoder shared by the libFuzzer harnesses and the corpus
+// replay test. An arbitrary byte string maps to a small fair-caching
+// problem plus solver options; every construction step goes through the
+// validated non-throwing entry points (graph::Graph::try_add_edge,
+// core::validate_problem, ...), so the harnesses exercise exactly the
+// hardened input boundary a hostile caller would hit. The decoder never
+// rejects input — malformed bytes produce malformed problems on purpose
+// (disconnected graphs, mis-sized capacity vectors, out-of-range
+// producers), which the validators must classify, not crash on.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/approx.h"
+#include "core/problem.h"
+#include "graph/graph.h"
+
+namespace faircache::fuzz {
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool exhausted() const { return pos_ >= size_; }
+
+  // Next byte; 0 once the input is exhausted (keeps decoding total).
+  std::uint8_t u8() { return exhausted() ? 0 : data_[pos_++]; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+};
+
+// The decoded problem owns its network; `problem.network` points at it, so
+// a DecodedProblem must stay put while the problem is in use (the harness
+// keeps it on the stack — never copy or move it afterwards).
+struct DecodedProblem {
+  graph::Graph network;
+  core::FairCachingProblem problem;
+  core::ApproxConfig config;
+};
+
+inline void decode_problem(const std::uint8_t* data, std::size_t size,
+                           DecodedProblem& out) {
+  ByteReader in(data, size);
+
+  const int n = 2 + in.u8() % 31;  // 2..32 nodes
+  out.network = graph::Graph(n);
+
+  // Deliberately allow an out-of-range producer one time in eight so the
+  // validator's range check stays covered.
+  const std::uint8_t producer_byte = in.u8();
+  out.problem.producer = (producer_byte & 0x7) == 0
+                             ? static_cast<graph::NodeId>(n + producer_byte)
+                             : static_cast<graph::NodeId>(producer_byte % n);
+  out.problem.num_chunks = in.u8() % 9;
+  out.problem.uniform_capacity = in.u8() % 6;
+
+  // Occasionally use an explicit capacity vector, sometimes mis-sized.
+  const std::uint8_t cap_mode = in.u8();
+  if ((cap_mode & 0x3) == 0) {
+    const int len = (cap_mode & 0x4) != 0 ? n : n - 1;
+    for (int i = 0; i < len; ++i) {
+      out.problem.capacities.push_back(in.u8() % 6);
+    }
+  }
+
+  // Solver options: positive steps, small span thresholds, both growth
+  // modes. Single-threaded — fuzz iterations must stay cheap.
+  const std::uint8_t opt = in.u8();
+  out.config.confl.growth = (opt & 0x1) != 0
+                                ? confl::GrowthMode::kEventDriven
+                                : confl::GrowthMode::kFixedStep;
+  out.config.confl.alpha_step = 0.25 * (1 + ((opt >> 1) & 0x7));
+  out.config.confl.gamma_step = 0.5 * (1 + ((opt >> 4) & 0x7));
+  out.config.confl.span_threshold = 1 + in.u8() % 4;
+  out.config.confl.threads = 1;
+  out.config.instance.threads = 1;
+
+  // Edge list: consume the rest of the input as endpoint pairs. Self
+  // loops and duplicates are rejected by try_add_edge (statuses ignored
+  // — that IS the path under test); sparse inputs yield disconnected
+  // graphs, which the problem validator must flag as infeasible.
+  const int edge_budget = 6 * n;
+  for (int e = 0; e < edge_budget && !in.exhausted(); ++e) {
+    const auto u = static_cast<graph::NodeId>(in.u8() % n);
+    const auto v = static_cast<graph::NodeId>(in.u8() % n);
+    (void)out.network.try_add_edge(u, v);
+  }
+
+  out.problem.network = &out.network;
+}
+
+}  // namespace faircache::fuzz

@@ -1,0 +1,47 @@
+// Fuzz target: the instance-construction boundary. Arbitrary bytes decode
+// to a problem; validation must classify it with a typed Status and a
+// validated problem must always yield a well-formed ConFL instance. Any
+// uncaught exception or abort is a finding.
+
+#include <cstdlib>
+
+#include "confl/confl.h"
+#include "core/instance_builder.h"
+#include "core/validate.h"
+#include "fuzz/decoder.h"
+#include "fuzz/targets.h"
+
+namespace faircache::fuzz {
+
+int run_instance_target(const std::uint8_t* data, std::size_t size) {
+  DecodedProblem d;
+  decode_problem(data, size, d);
+
+  const util::Status status = core::validate_problem(d.problem);
+  if (!status.ok()) {
+    // Rejections must carry one of the two input-classification codes.
+    if (status.code() != util::StatusCode::kInvalidInput &&
+        status.code() != util::StatusCode::kInfeasible) {
+      std::abort();
+    }
+    return 0;
+  }
+
+  const metrics::CacheState state = d.problem.make_initial_state();
+  util::Result<confl::ConflInstance> instance = core::try_build_chunk_instance(
+      d.problem, state, d.config.instance, /*chunk=*/0);
+  // A problem that passed validation must build, and the built instance
+  // must itself pass the solver's instance validator.
+  if (!instance.ok()) std::abort();
+  if (!confl::validate_confl_instance(instance.value()).ok()) std::abort();
+  return 0;
+}
+
+}  // namespace faircache::fuzz
+
+#ifdef FAIRCACHE_FUZZ_STANDALONE
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return faircache::fuzz::run_instance_target(data, size);
+}
+#endif

@@ -1,0 +1,24 @@
+#pragma once
+
+// Entry points of the fuzz target bodies, callable outside libFuzzer.
+// The standalone fuzzers (-DFAIRCACHE_FUZZ=ON, clang) wrap these in
+// LLVMFuzzerTestOneInput; tests/fuzz_corpus_test.cpp replays the
+// checked-in corpus through them in every plain build, so any input the
+// fuzzer ever minimized stays a permanent regression test.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace faircache::fuzz {
+
+// Decode → validate → build one ConFL instance. Never throws or aborts on
+// any input; malformed problems must come back as typed statuses.
+int run_instance_target(const std::uint8_t* data, std::size_t size);
+
+// Decode → validate → anytime solve under a tiny work-unit budget.
+// Verifies the anytime contract: an OK result is complete and feasible, an
+// error is kInvalidInput or kInfeasible — never a budget code, never a
+// throw.
+int run_solve_target(const std::uint8_t* data, std::size_t size);
+
+}  // namespace faircache::fuzz

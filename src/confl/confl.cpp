@@ -15,37 +15,72 @@ using graph::kInfCost;
 using graph::kInvalidNode;
 using graph::NodeId;
 
+util::Status validate_confl_instance(const ConflInstance& instance) {
+  using util::Status;
+  if (instance.network == nullptr) {
+    return Status::invalid_input("instance needs a network");
+  }
+  const int n = instance.network->num_nodes();
+  if (instance.root < 0 || instance.root >= n) {
+    return Status::invalid_input("root out of range");
+  }
+  if (static_cast<int>(instance.facility_cost.size()) != n) {
+    return Status::invalid_input("facility cost size mismatch");
+  }
+  if (static_cast<int>(instance.assign_cost.rows()) != n) {
+    return Status::invalid_input("assignment cost rows mismatch");
+  }
+  if (static_cast<int>(instance.assign_cost.cols()) != n) {
+    return Status::invalid_input("assignment cost columns mismatch");
+  }
+  if (static_cast<int>(instance.edge_cost.size()) !=
+      instance.network->num_edges()) {
+    return Status::invalid_input("edge cost size mismatch");
+  }
+  if (!(instance.edge_scale > 0)) {  // rejects NaN too
+    return Status::invalid_input("edge scale must be positive");
+  }
+  if (!instance.client_weight.empty()) {
+    if (static_cast<int>(instance.client_weight.size()) != n) {
+      return Status::invalid_input("client weight size mismatch");
+    }
+    for (double w : instance.client_weight) {
+      if (!(w >= 0)) {  // rejects NaN too
+        return Status::invalid_input("client weights must be non-negative");
+      }
+    }
+  }
+  return Status();
+}
+
+util::Status validate_confl_options(const ConflOptions& options) {
+  using util::Status;
+  if (!(options.alpha_step > 0) || !(options.beta_step > 0) ||
+      !(options.gamma_step > 0)) {
+    return Status::invalid_input("step sizes must be positive");
+  }
+  if (options.span_threshold < 1) {
+    return Status::invalid_input("span threshold must be ≥ 1");
+  }
+  return Status();
+}
+
 namespace {
 
-void validate(const ConflInstance& instance) {
-  FAIRCACHE_CHECK(instance.network != nullptr, "instance needs a network");
-  const int n = instance.network->num_nodes();
-  FAIRCACHE_CHECK(instance.root >= 0 && instance.root < n,
-                  "root out of range");
-  FAIRCACHE_CHECK(static_cast<int>(instance.facility_cost.size()) == n,
-                  "facility cost size mismatch");
-  FAIRCACHE_CHECK(static_cast<int>(instance.assign_cost.rows()) == n,
-                  "assignment cost rows mismatch");
-  FAIRCACHE_CHECK(static_cast<int>(instance.assign_cost.cols()) == n,
-                  "assignment cost columns mismatch");
-  FAIRCACHE_CHECK(static_cast<int>(instance.edge_cost.size()) ==
-                      instance.network->num_edges(),
-                  "edge cost size mismatch");
-  FAIRCACHE_CHECK(instance.edge_scale > 0, "edge scale must be positive");
-  if (!instance.client_weight.empty()) {
-    FAIRCACHE_CHECK(static_cast<int>(instance.client_weight.size()) == n,
-                    "client weight size mismatch");
-    for (double w : instance.client_weight) {
-      FAIRCACHE_CHECK(w >= 0, "client weights must be non-negative");
-    }
+void check_status(const util::Status& status, const char* expr) {
+  if (!status.ok()) {
+    util::check_failed(expr, __FILE__, __LINE__, status.message());
   }
 }
 
+void validate(const ConflInstance& instance) {
+  check_status(validate_confl_instance(instance),
+               "validate_confl_instance(instance).ok()");
+}
+
 void check_options(const ConflOptions& options) {
-  FAIRCACHE_CHECK(options.alpha_step > 0 && options.beta_step > 0 &&
-                      options.gamma_step > 0,
-                  "step sizes must be positive");
-  FAIRCACHE_CHECK(options.span_threshold >= 1, "span threshold must be ≥ 1");
+  check_status(validate_confl_options(options),
+               "validate_confl_options(options).ok()");
 }
 
 int derive_max_rounds(const ConflInstance& instance,
@@ -69,10 +104,13 @@ int derive_max_rounds(const ConflInstance& instance,
 
 // Runs Phase 2 (Steiner tree over the ADMIN set, cheapest-facility
 // re-assignment) and fills the cost fields of `solution`. `admins` is
-// consumed (sorted in place).
-void finish_solution(const ConflInstance& instance,
-                     const ConflOptions& options,
-                     std::vector<NodeId>& admins, ConflSolution& solution) {
+// consumed (sorted in place). Non-OK when the budget expires mid-phase or
+// the ADMIN set cannot be connected to the root.
+util::Status finish_solution(const ConflInstance& instance,
+                             const ConflOptions& options,
+                             const util::RunBudget& budget,
+                             std::vector<NodeId>& admins,
+                             ConflSolution& solution) {
   const int n = instance.network->num_nodes();
   const NodeId root = instance.root;
   const auto& c = instance.assign_cost;
@@ -95,10 +133,14 @@ void finish_solution(const ConflInstance& instance,
     terminals.push_back(root);
     std::vector<double> scaled = instance.edge_cost;
     for (double& w : scaled) w *= instance.edge_scale;
-    solution.tree = steiner::steiner_mst_approx(*instance.network, scaled,
-                                                terminals, options.threads);
+    util::Result<steiner::SteinerTree> tree = steiner::try_steiner_mst_approx(
+        *instance.network, scaled, std::move(terminals), options.threads,
+        budget);
+    if (!tree.ok()) return tree.status();
+    solution.tree = std::move(tree).value();
     solution.tree_cost = solution.tree.cost;
   }
+  if (budget.expired()) return budget.status("final client assignment");
 
   // Final assignment: cheapest facility in A ∪ {root} (never worse than the
   // dual-growth assignment). The min is folded facility-by-facility so the
@@ -126,6 +168,7 @@ void finish_solution(const ConflInstance& instance,
         best_i[static_cast<std::size_t>(j)];
     solution.assignment_cost += weight(j) * best[static_cast<std::size_t>(j)];
   }
+  return util::Status();
 }
 
 }  // namespace
@@ -152,8 +195,19 @@ void finish_solution(const ConflInstance& instance,
 // which keeps every floating-point accumulation in the reference order.
 ConflSolution solve_confl(const ConflInstance& instance,
                           const ConflOptions& options) {
-  validate(instance);
-  check_options(options);
+  util::Result<ConflSolution> result = try_solve_confl(instance, options);
+  if (!result.ok()) {
+    util::check_failed("try_solve_confl(...).ok()", __FILE__, __LINE__,
+                       result.status().message());
+  }
+  return std::move(result).value();
+}
+
+util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
+                                            const ConflOptions& options,
+                                            const util::RunBudget& budget) {
+  if (util::Status s = validate_confl_instance(instance); !s.ok()) return s;
+  if (util::Status s = validate_confl_options(options); !s.ok()) return s;
 
   const int n = instance.network->num_nodes();
   const auto un = static_cast<std::size_t>(n);
@@ -456,7 +510,8 @@ ConflSolution solve_confl(const ConflInstance& instance,
           }
           std::sort(arr.begin(), arr.end());
         },
-        options.threads);
+        options.threads, budget);
+    if (budget.expired()) return budget.status("event-list build");
     advance_tight_lists();  // pairs tight at α = 0 (zero-cost pairs)
   } else {
     extend_horizon(std::max(0, std::min(16, max_rounds)));
@@ -471,6 +526,12 @@ ConflSolution solve_confl(const ConflInstance& instance,
 
   int round = 0;
   for (; round < max_rounds && num_active > 0; ++round) {
+    // Cooperative cancellation point: one check and one work unit per
+    // growth round, before any dual is touched, so an aborted run leaves
+    // no half-applied round behind.
+    budget.charge();
+    if (budget.expired()) return budget.status("confl dual growth");
+
     // 1. Grow connection bids (paper line 18) — by the fixed unit, or
     // exactly up to the next event — and ingest the pairs that become
     // tight at the new α.
@@ -604,10 +665,16 @@ ConflSolution solve_confl(const ConflInstance& instance,
     }
   }
   solution.rounds = round;
-  FAIRCACHE_CHECK(num_active == 0,
-                  "dual growth did not converge within the round budget");
+  if (num_active > 0) {
+    return util::Status::resource_exhausted(
+        "dual growth did not converge within the round budget");
+  }
 
-  finish_solution(instance, options, admins, solution);
+  if (util::Status s =
+          finish_solution(instance, options, budget, admins, solution);
+      !s.ok()) {
+    return s;
+  }
   return solution;
 }
 
@@ -846,7 +913,9 @@ ConflSolution solve_confl_reference(const ConflInstance& instance,
   FAIRCACHE_CHECK(all_frozen(),
                   "dual growth did not converge within the round budget");
 
-  finish_solution(instance, options, admins, solution);
+  check_status(finish_solution(instance, options, util::RunBudget(), admins,
+                               solution),
+               "finish_solution(...).ok()");
   return solution;
 }
 

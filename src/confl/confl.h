@@ -29,7 +29,9 @@
 
 #include "graph/graph.h"
 #include "steiner/steiner.h"
+#include "util/deadline.h"
 #include "util/matrix.h"
+#include "util/status.h"
 
 namespace faircache::confl {
 
@@ -111,6 +113,24 @@ struct ConflSolution {
 // every instance (see tests/perf_core_test.cpp).
 ConflSolution solve_confl(const ConflInstance& instance,
                           const ConflOptions& options = {});
+
+// Non-throwing validation of an instance / options against the documented
+// domain (sizes, root range, positive steps, ...). These are the exact
+// predicates the throwing entry points enforce with FAIRCACHE_CHECK.
+util::Status validate_confl_instance(const ConflInstance& instance);
+util::Status validate_confl_options(const ConflOptions& options);
+
+// Non-throwing, budget-aware variant of solve_confl. Malformed input comes
+// back as kInvalidInput; an expired util::RunBudget as its own reason
+// (kCancelled / kDeadlineExceeded / kResourceExhausted); a dual growth that
+// fails to converge within max_rounds as kResourceExhausted. The budget is
+// polled once per growth round (one work unit charged per round), in the
+// event-list build fan-out, and inside the Phase 2 Steiner construction. A
+// run that completes under an unexpired budget is bit-identical to
+// solve_confl — budget checks never touch the solver arithmetic.
+util::Result<ConflSolution> try_solve_confl(
+    const ConflInstance& instance, const ConflOptions& options = {},
+    const util::RunBudget& budget = {});
 
 // Reference implementation: the original dense engine that rescans every
 // (facility, client) pair each round. Kept for differential testing of the

@@ -1,31 +1,145 @@
 #include "core/approx.h"
 
+#include <algorithm>
+#include <queue>
+
 #include "util/stopwatch.h"
 
 namespace faircache::core {
 
+namespace {
+
+using graph::NodeId;
+
+std::vector<int> bfs_hops(const graph::Graph& g, NodeId source) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId w : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(w)] == -1) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+// Degraded-mode cache set for a chunk the ConFL solver never reached: the
+// greedy hop-count facility heuristic (the "Hopc" baseline's core move,
+// re-derived here because core cannot link the baselines module).
+// Starting from the existing copies of the chunk (producer + holders),
+// repeatedly add the capacity-respecting node with the largest net gain
+//     Σ_j max(0, hops(j, nearest copy) − hops(j, v)) − hops(v, nearest copy)
+// — access-delay savings minus a λ = 1 dissemination penalty for shipping
+// the chunk to v — until no node nets a strict improvement. The penalty is
+// what stops the set from degenerating to "cache everywhere" (the self
+// term alone always pays for a free node). Selection respects can_cache,
+// so later chunks spread onto nodes the earlier fallback chunks filled
+// up. Smallest-id tie-breaks keep it deterministic.
+std::vector<NodeId> greedy_fallback_set(
+    const std::vector<std::vector<int>>& hops,
+    const metrics::CacheState& state, metrics::ChunkId chunk,
+    NodeId producer) {
+  const std::size_t n = hops.size();
+  std::vector<int> nearest = hops[static_cast<std::size_t>(producer)];
+  std::vector<char> chosen(n, 0);
+  chosen[static_cast<std::size_t>(producer)] = 1;
+  for (NodeId h : state.holders(chunk)) {
+    chosen[static_cast<std::size_t>(h)] = 1;
+    const auto& row = hops[static_cast<std::size_t>(h)];
+    for (std::size_t j = 0; j < n; ++j) {
+      nearest[j] = std::min(nearest[j], row[j]);
+    }
+  }
+  std::vector<NodeId> set;
+  while (true) {
+    long best_gain = 0;
+    NodeId best_v = graph::kInvalidNode;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (chosen[v] || !state.can_cache(static_cast<NodeId>(v), chunk)) {
+        continue;
+      }
+      long gain = -static_cast<long>(nearest[v]);  // dissemination penalty
+      for (std::size_t j = 0; j < n; ++j) {
+        gain += std::max(0, nearest[j] - hops[v][j]);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_v = static_cast<NodeId>(v);
+      }
+    }
+    if (best_v == graph::kInvalidNode) break;
+    chosen[static_cast<std::size_t>(best_v)] = 1;
+    set.push_back(best_v);
+    const auto& row = hops[static_cast<std::size_t>(best_v)];
+    for (std::size_t j = 0; j < n; ++j) {
+      nearest[j] = std::min(nearest[j], row[j]);
+    }
+  }
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+}  // namespace
+
 FairCachingResult ApproxFairCaching::run(const FairCachingProblem& problem) {
-  FAIRCACHE_CHECK(problem.network != nullptr, "problem needs a network");
-  FAIRCACHE_CHECK(problem.num_chunks >= 0, "negative chunk count");
+  util::Result<FairCachingResult> result = solve(problem);
+  if (!result.ok()) {
+    util::check_failed("solve(problem).ok()", __FILE__, __LINE__,
+                       result.status().message());
+  }
+  return std::move(result).value();
+}
+
+util::Result<FairCachingResult> ApproxFairCaching::solve(
+    const FairCachingProblem& problem, const util::RunBudget& budget,
+    SolveReport* report) {
+  SolveReport local_report;
+  SolveReport& rep = report != nullptr ? *report : local_report;
+  rep = SolveReport{};
+
+  if (util::Status status = validate_problem(problem); !status.ok()) {
+    return status;
+  }
 
   util::Stopwatch clock;
   FairCachingResult result;
   result.algorithm = name();
   result.state = problem.make_initial_state();
+  rep.chunks_total = problem.num_chunks;
 
-  for (metrics::ChunkId chunk = 0; chunk < problem.num_chunks; ++chunk) {
+  metrics::ChunkId chunk = 0;
+  for (; chunk < problem.num_chunks; ++chunk) {
+    if (budget.expired()) break;
+    util::Stopwatch phase;
     // Lines 5–16: refresh f_i and c_ij from the current storage state.
-    const confl::ConflInstance instance =
-        build_chunk_instance(problem, result.state, config_.instance, chunk);
+    util::Result<confl::ConflInstance> instance = try_build_chunk_instance(
+        problem, result.state, config_.instance, chunk);
+    rep.build_seconds += phase.elapsed_seconds();
+    if (!instance.ok()) return instance.status();
+
+    phase.reset();
     // Lines 17–47: primal–dual growth + Steiner connection.
-    const confl::ConflSolution solution =
-        confl::solve_confl(instance, config_.confl);
+    util::Result<confl::ConflSolution> solution =
+        confl::try_solve_confl(instance.value(), config_.confl, budget);
+    rep.solve_seconds += phase.elapsed_seconds();
+    if (!solution.ok()) {
+      // Budget expiry mid-solve degrades this chunk and the rest; any
+      // other failure (invalid instance, non-convergence) is a real error.
+      if (budget.expired()) break;
+      return solution.status();
+    }
 
     ChunkPlacement placement;
     placement.chunk = chunk;
-    placement.solver_objective = solution.total();
-    placement.solver_rounds = solution.rounds;
-    for (graph::NodeId v : solution.open_facilities) {
+    placement.solver_objective = solution.value().total();
+    placement.solver_rounds = solution.value().rounds;
+    for (graph::NodeId v : solution.value().open_facilities) {
       // A node with finite f_i always has room (full nodes are +inf), and
       // the solver never opens the producer; guard anyway for robustness.
       if (result.state.can_cache(v, chunk)) {
@@ -36,7 +150,34 @@ FairCachingResult ApproxFairCaching::run(const FairCachingProblem& problem) {
     result.placements.push_back(std::move(placement));
   }
 
+  if (chunk < problem.num_chunks) {
+    // Anytime degradation: the budget ran out with chunks left. Keep every
+    // ConFL placement made so far and fill the remainder with the greedy
+    // fallback set — the result stays feasible (can_cache guards every
+    // insertion) and the report says exactly what happened.
+    rep.stop_reason = budget.status("appx chunk loop");
+    util::Stopwatch phase;
+    const auto n = static_cast<std::size_t>(problem.network->num_nodes());
+    std::vector<std::vector<int>> hops(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      hops[v] = bfs_hops(*problem.network, static_cast<graph::NodeId>(v));
+    }
+    for (; chunk < problem.num_chunks; ++chunk) {
+      ChunkPlacement placement;
+      placement.chunk = chunk;
+      for (graph::NodeId v : greedy_fallback_set(
+               hops, result.state, chunk, problem.producer)) {
+        result.state.add(v, chunk);
+        placement.cache_nodes.push_back(v);
+      }
+      rep.degraded_chunks.push_back(chunk);
+      result.placements.push_back(std::move(placement));
+    }
+    rep.fallback_seconds = phase.elapsed_seconds();
+  }
+
   result.runtime_seconds = clock.elapsed_seconds();
+  rep.total_seconds = result.runtime_seconds;
   return result;
 }
 

@@ -6,16 +6,45 @@
 // set, and move to the next chunk. Theorem 1 shows this iterated scheme
 // preserves the 6.55 approximation ratio of the underlying ConFL algorithm
 // against the per-chunk optimal transform (8).
+//
+// The budget-aware entry point `solve` adds *anytime* semantics on top
+// (docs/ROBUSTNESS.md): when the util::RunBudget expires mid-run, chunks
+// already placed keep their ConFL solutions and every remaining chunk is
+// placed by a cheap greedy hop-count fallback, so the caller always gets a
+// feasible placement — never a throw, never an empty result.
 
 #include "confl/confl.h"
 #include "core/instance_builder.h"
 #include "core/problem.h"
+#include "core/validate.h"
+#include "util/deadline.h"
+#include "util/status.h"
 
 namespace faircache::core {
 
 struct ApproxConfig {
   confl::ConflOptions confl;
   InstanceOptions instance;
+};
+
+// Diagnostics of one anytime `solve` run: which chunks were degraded to
+// the greedy fallback, where the time went, and why the run stopped early
+// (stop_reason is OK for a run that completed under budget).
+struct SolveReport {
+  util::Status stop_reason;  // OK, kDeadlineExceeded, kCancelled, ...
+  int chunks_total = 0;
+  // Chunks placed by the greedy fallback instead of the ConFL solver,
+  // ascending. Empty for a completed run.
+  std::vector<metrics::ChunkId> degraded_chunks;
+  double build_seconds = 0.0;     // per-chunk instance builds (lines 5–16)
+  double solve_seconds = 0.0;     // ConFL solves (lines 17–47)
+  double fallback_seconds = 0.0;  // greedy degraded-mode placement
+  double total_seconds = 0.0;
+
+  bool degraded() const { return !degraded_chunks.empty(); }
+  int chunks_solved() const {
+    return chunks_total - static_cast<int>(degraded_chunks.size());
+  }
 };
 
 class ApproxFairCaching : public CachingAlgorithm {
@@ -26,6 +55,22 @@ class ApproxFairCaching : public CachingAlgorithm {
   std::string name() const override { return "Appx"; }
 
   FairCachingResult run(const FairCachingProblem& problem) override;
+
+  // Budget-aware anytime variant of run().
+  //
+  //  * Malformed problems come back as kInvalidInput, a disconnected
+  //    network as kInfeasible (core::validate_problem) — the only error
+  //    returns.
+  //  * Budget expiry (deadline, cancellation, work-unit cap) is NOT an
+  //    error: the result is still OK and feasible. Chunks solved before
+  //    expiry keep their ConFL placements; the rest fall back to the
+  //    greedy hop-count set, and `report` (optional) records the degraded
+  //    chunks, per-phase elapsed times, and the typed stop reason.
+  //  * Under an unlimited budget the result is bit-identical to run() at
+  //    any thread count (budget checks never touch solver arithmetic).
+  util::Result<FairCachingResult> solve(const FairCachingProblem& problem,
+                                        const util::RunBudget& budget = {},
+                                        SolveReport* report = nullptr);
 
   const ApproxConfig& config() const { return config_; }
 

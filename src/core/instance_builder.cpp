@@ -6,9 +6,29 @@ confl::ConflInstance build_chunk_instance(const FairCachingProblem& problem,
                                           const metrics::CacheState& state,
                                           const InstanceOptions& options,
                                           metrics::ChunkId chunk) {
-  FAIRCACHE_CHECK(problem.network != nullptr, "problem needs a network");
-  FAIRCACHE_CHECK(state.num_nodes() == problem.network->num_nodes(),
-                  "state / network size mismatch");
+  util::Result<confl::ConflInstance> result =
+      try_build_chunk_instance(problem, state, options, chunk);
+  if (!result.ok()) {
+    util::check_failed("try_build_chunk_instance(...).ok()", __FILE__,
+                       __LINE__, result.status().message());
+  }
+  return std::move(result).value();
+}
+
+util::Result<confl::ConflInstance> try_build_chunk_instance(
+    const FairCachingProblem& problem, const metrics::CacheState& state,
+    const InstanceOptions& options, metrics::ChunkId chunk) {
+  if (problem.network == nullptr) {
+    return util::Status::invalid_input("problem needs a network");
+  }
+  if (state.num_nodes() != problem.network->num_nodes()) {
+    return util::Status::invalid_input("state / network size mismatch");
+  }
+  if (options.demand != nullptr &&
+      (chunk < 0 ||
+       static_cast<std::size_t>(chunk) >= options.demand->size())) {
+    return util::Status::invalid_input("demand matrix missing chunk row");
+  }
 
   confl::ConflInstance instance;
   instance.network = problem.network;
@@ -21,10 +41,6 @@ confl::ConflInstance build_chunk_instance(const FairCachingProblem& problem,
   instance.assign_cost = contention.take_matrix();
   instance.edge_cost = contention.take_edge_costs();
   if (options.demand != nullptr) {
-    FAIRCACHE_CHECK(chunk >= 0 &&
-                        static_cast<std::size_t>(chunk) <
-                            options.demand->size(),
-                    "demand matrix missing chunk row");
     instance.client_weight =
         (*options.demand)[static_cast<std::size_t>(chunk)];
   }

@@ -9,6 +9,7 @@
 #include "confl/confl.h"
 #include "core/problem.h"
 #include "metrics/fairness.h"
+#include "util/status.h"
 
 namespace faircache::core {
 
@@ -33,5 +34,13 @@ confl::ConflInstance build_chunk_instance(const FairCachingProblem& problem,
                                           const metrics::CacheState& state,
                                           const InstanceOptions& options,
                                           metrics::ChunkId chunk = 0);
+
+// Non-throwing variant for untrusted input: kInvalidInput for a missing
+// network, a state sized for a different network, or a demand matrix
+// without a row for `chunk`. A successful build is identical to
+// build_chunk_instance.
+util::Result<confl::ConflInstance> try_build_chunk_instance(
+    const FairCachingProblem& problem, const metrics::CacheState& state,
+    const InstanceOptions& options, metrics::ChunkId chunk = 0);
 
 }  // namespace faircache::core

@@ -1,0 +1,38 @@
+#include "core/validate.h"
+
+#include <limits>
+
+namespace faircache::core {
+
+util::Status validate_problem(const FairCachingProblem& problem) {
+  using util::Status;
+  if (problem.network == nullptr) {
+    return Status::invalid_input("problem needs a network");
+  }
+  const int n = problem.network->num_nodes();
+  if (problem.producer < 0 || problem.producer >= n) {
+    return Status::invalid_input("producer out of range");
+  }
+  if (problem.num_chunks < 0) {
+    return Status::invalid_input("negative chunk count");
+  }
+  if (n > 0 && problem.num_chunks > std::numeric_limits<int>::max() / n) {
+    return Status::invalid_input("chunk count times node count overflows");
+  }
+  if (!problem.capacities.empty()) {
+    if (static_cast<int>(problem.capacities.size()) != n) {
+      return Status::invalid_input("capacity vector size mismatch");
+    }
+    for (int cap : problem.capacities) {
+      if (cap < 0) return Status::invalid_input("negative cache capacity");
+    }
+  } else if (problem.uniform_capacity < 0) {
+    return Status::invalid_input("negative cache capacity");
+  }
+  if (!problem.network->is_connected()) {
+    return Status::infeasible("network is disconnected");
+  }
+  return Status();
+}
+
+}  // namespace faircache::core

@@ -1,0 +1,21 @@
+#pragma once
+
+// Non-throwing validation of a FairCachingProblem against the documented
+// domain — the hardened input boundary for untrusted problem descriptions
+// (file loaders, fuzz decoders, RPC fronts). The solver entry points call
+// this before touching the instance, so malformed input surfaces as a
+// typed util::Status instead of a CheckError deep inside the stack.
+
+#include "core/problem.h"
+#include "util/status.h"
+
+namespace faircache::core {
+
+// kInvalidInput: missing network, producer out of range, negative chunk
+// count, capacity vector size mismatch, negative capacity, or a chunk ×
+// node product that overflows the evaluator's pair counting.
+// kInfeasible: a disconnected network (no dissemination tree can reach
+// every consumer, so no placement is feasible under the paper's model).
+util::Status validate_problem(const FairCachingProblem& problem);
+
+}  // namespace faircache::core

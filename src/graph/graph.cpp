@@ -12,9 +12,24 @@ Graph::Graph(int num_nodes) {
 }
 
 EdgeId Graph::add_edge(NodeId u, NodeId v) {
-  FAIRCACHE_CHECK(contains(u) && contains(v), "edge endpoint out of range");
-  FAIRCACHE_CHECK(u != v, "self loops are not allowed");
-  FAIRCACHE_CHECK(!has_edge(u, v), "duplicate edge");
+  util::Result<EdgeId> result = try_add_edge(u, v);
+  if (!result.ok()) {
+    util::check_failed("try_add_edge(u, v).ok()", __FILE__, __LINE__,
+                       result.status().message());
+  }
+  return result.value();
+}
+
+util::Result<EdgeId> Graph::try_add_edge(NodeId u, NodeId v) {
+  if (!contains(u) || !contains(v)) {
+    return util::Status::invalid_input("edge endpoint out of range");
+  }
+  if (u == v) {
+    return util::Status::invalid_input("self loops are not allowed");
+  }
+  if (has_edge(u, v)) {
+    return util::Status::invalid_input("duplicate edge");
+  }
 
   const EdgeId id = num_edges();
   edges_.push_back(Edge{std::min(u, v), std::max(u, v)});

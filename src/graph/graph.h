@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/status.h"
 
 namespace faircache::graph {
 
@@ -44,6 +45,11 @@ class Graph {
   // Adds an undirected edge; returns its id. Self loops and duplicate edges
   // are rejected (multi-edges have no meaning for a wireless link graph).
   EdgeId add_edge(NodeId u, NodeId v);
+
+  // Non-throwing variant of add_edge for untrusted input (parsers, fuzz
+  // decoders): kInvalidInput for an out-of-range endpoint, a self loop or a
+  // duplicate edge; the graph is unchanged on failure.
+  util::Result<EdgeId> try_add_edge(NodeId u, NodeId v);
 
   bool has_edge(NodeId u, NodeId v) const;
   std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;

@@ -120,4 +120,16 @@ DegradationReport make_degradation_report(double coverage,
   return report;
 }
 
+DegradationReport make_degradation_report(double coverage,
+                                          const PlacementEvaluation& degraded,
+                                          const PlacementEvaluation& baseline,
+                                          util::Status protocol_outcome,
+                                          long forced_freezes) {
+  DegradationReport report =
+      make_degradation_report(coverage, degraded, baseline);
+  report.protocol_outcome = std::move(protocol_outcome);
+  report.forced_freezes = forced_freezes;
+  return report;
+}
+
 }  // namespace faircache::metrics

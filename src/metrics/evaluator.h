@@ -11,6 +11,7 @@
 #include "graph/graph.h"
 #include "metrics/cache_state.h"
 #include "metrics/contention.h"
+#include "util/status.h"
 
 namespace faircache::metrics {
 
@@ -68,10 +69,24 @@ struct DegradationReport {
   double degraded_cost = 0.0;        // faulty-run total contention cost
   double residual_cost_ratio = 1.0;  // degraded / baseline (1.0 = no loss)
   double extra_cost = 0.0;           // degraded − baseline
+  // Typed termination outcome of the protocol that produced the degraded
+  // placement: OK for natural convergence, kResourceExhausted when the
+  // distributed watchdog force-froze stragglers at the round bound (see
+  // sim::DistributedFairCaching::protocol_outcome).
+  util::Status protocol_outcome;
+  long forced_freezes = 0;  // stragglers frozen by the round watchdog
 };
 
 DegradationReport make_degradation_report(double coverage,
                                           const PlacementEvaluation& degraded,
                                           const PlacementEvaluation& baseline);
+
+// Overload carrying the protocol's typed termination outcome and watchdog
+// counter (the three-argument form reports an OK outcome).
+DegradationReport make_degradation_report(double coverage,
+                                          const PlacementEvaluation& degraded,
+                                          const PlacementEvaluation& baseline,
+                                          util::Status protocol_outcome,
+                                          long forced_freezes);
 
 }  // namespace faircache::metrics

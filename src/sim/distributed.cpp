@@ -78,6 +78,7 @@ core::FairCachingResult DistributedFairCaching::run(
   result.state = problem.make_initial_state();
   stats_ = MessageStats{};
   total_rounds_ = 0;
+  protocol_outcome_ = util::Status();
 
   // Optional unreliable network. One channel spans the whole run so that
   // CrashEvent rounds index global bus rounds across chunks.
@@ -559,6 +560,12 @@ core::FairCachingResult DistributedFairCaching::run(
       }
     }
     stats_ += channel->stats();
+  }
+
+  if (stats_.forced_freezes > 0) {
+    protocol_outcome_ = util::Status::resource_exhausted(
+        std::to_string(stats_.forced_freezes) +
+        " straggler(s) force-frozen at the max_rounds watchdog bound");
   }
 
   result.runtime_seconds = clock.elapsed_seconds();

@@ -38,6 +38,7 @@
 #include "core/problem.h"
 #include "sim/faults.h"
 #include "sim/messages.h"
+#include "util/status.h"
 
 namespace faircache::sim {
 
@@ -70,10 +71,19 @@ class DistributedFairCaching : public core::CachingAlgorithm {
   // Bidding rounds executed in the last run (sum over chunks).
   int total_rounds() const { return total_rounds_; }
 
+  // Typed outcome of the last run's termination watchdog: OK when every
+  // chunk's bidding converged on its own; kResourceExhausted when the
+  // max_rounds bound tripped and stragglers were force-frozen onto the
+  // producer (the run still terminates with a feasible placement — this is
+  // the protocol-level analogue of an expired RunBudget, feeding
+  // metrics::DegradationReport::protocol_outcome).
+  const util::Status& protocol_outcome() const { return protocol_outcome_; }
+
  private:
   DistributedConfig config_;
   MessageStats stats_;
   int total_rounds_ = 0;
+  util::Status protocol_outcome_;
 };
 
 }  // namespace faircache::sim

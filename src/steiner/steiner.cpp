@@ -56,14 +56,32 @@ struct DisjointSet {
 SteinerTree steiner_mst_approx(const Graph& g,
                                const std::vector<double>& edge_weight,
                                std::vector<NodeId> terminals, int threads) {
-  FAIRCACHE_CHECK(static_cast<int>(edge_weight.size()) == g.num_edges(),
-                  "edge weight vector size mismatch");
+  util::Result<SteinerTree> result =
+      try_steiner_mst_approx(g, edge_weight, std::move(terminals), threads);
+  if (!result.ok()) {
+    util::check_failed("try_steiner_mst_approx(...).ok()", __FILE__, __LINE__,
+                       result.status().message());
+  }
+  return std::move(result).value();
+}
+
+util::Result<SteinerTree> try_steiner_mst_approx(
+    const Graph& g, const std::vector<double>& edge_weight,
+    std::vector<NodeId> terminals, int threads,
+    const util::RunBudget& budget) {
+  if (static_cast<int>(edge_weight.size()) != g.num_edges()) {
+    return util::Status::invalid_input("edge weight vector size mismatch");
+  }
   std::sort(terminals.begin(), terminals.end());
   terminals.erase(std::unique(terminals.begin(), terminals.end()),
                   terminals.end());
-  FAIRCACHE_CHECK(!terminals.empty(), "need at least one terminal");
+  if (terminals.empty()) {
+    return util::Status::invalid_input("need at least one terminal");
+  }
   for (NodeId t : terminals) {
-    FAIRCACHE_CHECK(g.contains(t), "terminal out of range");
+    if (!g.contains(t)) {
+      return util::Status::invalid_input("terminal out of range");
+    }
   }
 
   SteinerTree result;
@@ -88,11 +106,16 @@ SteinerTree steiner_mst_approx(const Graph& g,
   util::parallel_for(
       terminals.size(),
       [&](std::size_t t) {
+        budget.charge();
         trees[t] =
             graph::dijkstra_edge_weights(g, terminals[t], edge_weight,
                                          &is_terminal_flag, &adj, &slot_weight);
       },
-      threads);
+      threads, budget);
+  if (budget.expired()) {
+    // The fan-out drained early; some trees are missing.
+    return budget.status("steiner per-terminal SSSP fan-out");
+  }
   // 2. MST of the terminal metric closure. Closure edge {a, b} (a < b)
   // carries the triple (w, a, b) with w = trees[a].cost[terminals[b]];
   // (w, a, b) is a strict total order, so the MST under it is unique and
@@ -116,6 +139,7 @@ SteinerTree steiner_mst_approx(const Graph& g,
     key_b[u] = u;
   }
   for (std::size_t added = 1; added < nt; ++added) {
+    if (budget.expired()) return budget.status("steiner closure MST");
     std::size_t o = nt;
     for (std::size_t u = 0; u < nt; ++u) {
       if (in_tree[u]) continue;
@@ -125,8 +149,9 @@ SteinerTree steiner_mst_approx(const Graph& g,
         o = u;
       }
     }
-    FAIRCACHE_CHECK(key_w[o] != kInfCost,
-                    "terminals are not mutually reachable");
+    if (key_w[o] == kInfCost) {
+      return util::Status::infeasible("terminals are not mutually reachable");
+    }
     in_tree[o] = 1;
     // 3. Expand the selected closure edge into real graph edges along the
     // shortest path from terminal key_a[o] to terminal key_b[o].

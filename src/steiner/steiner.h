@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/deadline.h"
+#include "util/status.h"
 
 namespace faircache::steiner {
 
@@ -40,6 +42,19 @@ SteinerTree steiner_mst_approx(const graph::Graph& g,
                                const std::vector<double>& edge_weight,
                                std::vector<graph::NodeId> terminals,
                                int threads = 0);
+
+// Non-throwing, budget-aware variant of steiner_mst_approx. Malformed
+// input yields kInvalidInput, mutually unreachable terminals kInfeasible,
+// and an expired util::RunBudget the budget's own reason (kCancelled /
+// kDeadlineExceeded / kResourceExhausted). The budget is polled in the
+// per-terminal SSSP fan-out (workers drain between sources) and once per
+// closure-MST round; one work unit is charged per shortest-path source. A
+// run that completes under an unexpired budget is bit-identical to
+// steiner_mst_approx.
+util::Result<SteinerTree> try_steiner_mst_approx(
+    const graph::Graph& g, const std::vector<double>& edge_weight,
+    std::vector<graph::NodeId> terminals, int threads = 0,
+    const util::RunBudget& budget = {});
 
 // Exact minimum Steiner tree cost via the Dreyfus–Wagner dynamic program.
 // Complexity O(3^t · n + 2^t · n²); keep |terminals| small (≤ ~12).

@@ -1,0 +1,90 @@
+#include "util/deadline.h"
+
+#include <cmath>
+
+namespace faircache::util {
+
+CancelToken CancelToken::make() {
+  CancelToken token;
+  token.flag_ = std::make_shared<std::atomic<bool>>(false);
+  return token;
+}
+
+namespace {
+
+std::chrono::steady_clock::time_point deadline_from_now(double seconds) {
+  // Saturate absurd horizons instead of overflowing the time_point.
+  if (!(seconds < 1e9)) return std::chrono::steady_clock::time_point::max();
+  const auto delta = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(seconds < 0 ? 0.0 : seconds));
+  return std::chrono::steady_clock::now() + delta;
+}
+
+}  // namespace
+
+RunBudget RunBudget::wall_clock(double seconds, CancelToken token) {
+  return limited(seconds, kNoWorkCap, std::move(token));
+}
+
+RunBudget RunBudget::work_units(std::uint64_t cap, CancelToken token) {
+  RunBudget budget;
+  budget.state_ = std::make_shared<State>();
+  budget.state_->work_cap = cap;
+  budget.state_->token = std::move(token);
+  return budget;
+}
+
+RunBudget RunBudget::cancellable(CancelToken token) {
+  RunBudget budget;
+  budget.state_ = std::make_shared<State>();
+  budget.state_->token = std::move(token);
+  return budget;
+}
+
+RunBudget RunBudget::limited(double seconds, std::uint64_t work_cap,
+                             CancelToken token) {
+  RunBudget budget;
+  budget.state_ = std::make_shared<State>();
+  budget.state_->deadline = deadline_from_now(seconds);
+  budget.state_->work_cap = work_cap;
+  budget.state_->token = std::move(token);
+  return budget;
+}
+
+StatusCode RunBudget::check() const {
+  if (!state_) return StatusCode::kOk;
+  if (state_->token.cancelled()) return StatusCode::kCancelled;
+  if (state_->deadline != Clock::time_point::max() &&
+      Clock::now() >= state_->deadline) {
+    return StatusCode::kDeadlineExceeded;
+  }
+  if (state_->work_cap != kNoWorkCap &&
+      state_->work.load(std::memory_order_relaxed) > state_->work_cap) {
+    return StatusCode::kResourceExhausted;
+  }
+  return StatusCode::kOk;
+}
+
+Status RunBudget::status(const char* where) const {
+  const StatusCode code = check();
+  switch (code) {
+    case StatusCode::kOk:
+      return Status();
+    case StatusCode::kCancelled:
+      return Status::cancelled(std::string("cancel requested during ") +
+                               where);
+    case StatusCode::kDeadlineExceeded:
+      return Status::deadline_exceeded(
+          std::string("wall-clock deadline expired during ") + where);
+    default:
+      return Status::resource_exhausted(
+          std::string("work-unit budget exhausted during ") + where);
+  }
+}
+
+double RunBudget::elapsed_seconds() const {
+  if (!state_) return 0.0;
+  return std::chrono::duration<double>(Clock::now() - state_->start).count();
+}
+
+}  // namespace faircache::util

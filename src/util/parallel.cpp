@@ -39,16 +39,19 @@ class Pool {
   }
 
   void run(std::size_t n, int threads,
-           const std::function<void(std::size_t, int)>& fn) {
+           const std::function<void(std::size_t, int)>& fn,
+           const RunBudget* budget) {
     std::unique_lock<std::mutex> gate(run_mutex_);  // one job at a time
     ensure_workers(threads - 1);
 
     fn_ = &fn;
+    budget_ = budget;
     n_ = n;
     chunk_ = n / (static_cast<std::size_t>(threads) * 8);
     if (chunk_ == 0) chunk_ = 1;
     next_.store(0, std::memory_order_relaxed);
     error_ = nullptr;
+    error_claimed_.store(false, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       participants_ = threads - 1;
@@ -69,7 +72,12 @@ class Pool {
       done_cv_.wait(lock, [&] { return pending_ == 0; });
     }
     fn_ = nullptr;
-    if (error_) std::rethrow_exception(error_);
+    budget_ = nullptr;
+    // pending_ == 0 synchronizes with every worker's exit, so the claimed
+    // error (if any) is fully written by now.
+    if (error_claimed_.load(std::memory_order_acquire)) {
+      std::rethrow_exception(error_);
+    }
   }
 
  private:
@@ -101,7 +109,12 @@ class Pool {
 
   void work(int worker) {
     const auto& fn = *fn_;
+    const RunBudget* budget = budget_;
     for (;;) {
+      // Drain on cancellation: stop claiming new chunks. Chunks already
+      // claimed by other workers still complete, so no index is ever half
+      // run; the caller re-checks the budget and discards the output.
+      if (budget != nullptr && budget->expired()) break;
       const std::size_t begin =
           next_.fetch_add(chunk_, std::memory_order_relaxed);
       if (begin >= n_) break;
@@ -110,8 +123,12 @@ class Pool {
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i, worker);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!error_) error_ = std::current_exception();
+        // First thrower wins via a single atomic claim — two workers
+        // throwing concurrently can never race on the exception_ptr
+        // itself, and the loser's exception is dropped deliberately.
+        if (!error_claimed_.exchange(true, std::memory_order_acq_rel)) {
+          error_ = std::current_exception();
+        }
         // Keep draining: other indices may still be claimed, but failing
         // fast here would leave them unrun anyway; just stop this worker.
         break;
@@ -130,9 +147,14 @@ class Pool {
   int pending_ = 0;
 
   const std::function<void(std::size_t, int)>* fn_ = nullptr;
+  const RunBudget* budget_ = nullptr;
   std::size_t n_ = 0;
   std::size_t chunk_ = 1;
   std::atomic<std::size_t> next_{0};
+  // Exception capture: the first thrower claims the flag atomically and
+  // alone writes error_; the join on pending_ (mutex_) publishes the write
+  // to the caller.
+  std::atomic<bool> error_claimed_{false};
   std::exception_ptr error_;
 };
 
@@ -153,8 +175,9 @@ namespace internal {
 bool on_pool_worker() { return tls_on_worker; }
 
 void parallel_for_impl(std::size_t n, int threads,
-                       const std::function<void(std::size_t, int)>& fn) {
-  Pool::instance().run(n, threads, fn);
+                       const std::function<void(std::size_t, int)>& fn,
+                       const RunBudget* budget) {
+  Pool::instance().run(n, threads, fn, budget);
 }
 
 }  // namespace internal

@@ -25,13 +25,23 @@
 //   4. std::thread::hardware_concurrency().
 //
 // Exceptions thrown by fn are caught, the first one is rethrown on the
-// calling thread once the loop has drained. Nested parallel_for calls from
-// inside a worker degrade to the inline serial loop (no pool re-entry, no
-// deadlock).
+// calling thread once the loop has drained (the claim is a single atomic
+// flag, so concurrent throwers never race on the stored exception). Nested
+// parallel_for calls from inside a worker degrade to the inline serial loop
+// (no pool re-entry, no deadlock).
+//
+// Cancellation: an optional util::RunBudget is polled between work chunks.
+// When it expires, workers drain — each finishes the chunk it already
+// claimed, claims nothing further, and the loop returns early with indices
+// unrun. The caller must re-check the budget after the loop and discard the
+// partial output; a loop that returns with the budget unexpired has run
+// every index, bit-identically to the budget-free call.
 
 #include <cstddef>
 #include <functional>
 #include <type_traits>
+
+#include "util/deadline.h"
 
 namespace faircache::util {
 
@@ -47,9 +57,11 @@ void set_parallel_threads(int threads);
 inline int resolve_parallel_threads(int threads, std::size_t n);
 
 namespace internal {
-// Type-erased core; `threads` is the resolved count (>= 2, <= n).
+// Type-erased core; `threads` is the resolved count (>= 2, <= n). `budget`
+// may be null (no cancellation).
 void parallel_for_impl(std::size_t n, int threads,
-                       const std::function<void(std::size_t, int)>& fn);
+                       const std::function<void(std::size_t, int)>& fn,
+                       const RunBudget* budget);
 // True when the current thread is a pool worker (nested call).
 bool on_pool_worker();
 }  // namespace internal
@@ -57,6 +69,7 @@ bool on_pool_worker();
 // Runs fn(i, worker) for i in [0, n). `fn` may take (std::size_t) or
 // (std::size_t, int); the int is a dense worker id in [0, threads) usable
 // to index per-worker scratch. threads == 0 means parallel_threads().
+// `budget`: see the cancellation contract above.
 inline int resolve_parallel_threads(int threads, std::size_t n) {
   if (threads <= 0) threads = parallel_threads();
   if (static_cast<std::size_t>(threads) > n) threads = static_cast<int>(n);
@@ -65,7 +78,8 @@ inline int resolve_parallel_threads(int threads, std::size_t n) {
 }
 
 template <typename Fn>
-void parallel_for(std::size_t n, Fn&& fn, int threads = 0) {
+void parallel_for(std::size_t n, Fn&& fn, int threads = 0,
+                  const RunBudget& budget = {}) {
   constexpr bool kTakesWorker = std::is_invocable_v<Fn&, std::size_t, int>;
   auto invoke = [&fn](std::size_t i, int worker) {
     if constexpr (kTakesWorker) {
@@ -77,10 +91,18 @@ void parallel_for(std::size_t n, Fn&& fn, int threads = 0) {
   };
   threads = resolve_parallel_threads(threads, n);
   if (threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) invoke(i, 0);
+    if (budget.is_unlimited()) {
+      for (std::size_t i = 0; i < n; ++i) invoke(i, 0);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (budget.expired()) return;  // caller re-checks and discards
+      invoke(i, 0);
+    }
     return;
   }
-  internal::parallel_for_impl(n, threads, invoke);
+  internal::parallel_for_impl(n, threads, invoke,
+                              budget.is_unlimited() ? nullptr : &budget);
 }
 
 }  // namespace faircache::util

@@ -1,0 +1,71 @@
+// Replays the checked-in fuzz corpus through the fuzz target bodies in a
+// plain (gcc, no-sanitizer) build, so every input the fuzzer ever found —
+// and a few synthetic adversarial buffers — stays a permanent regression
+// test. The targets abort on an oracle violation and let exceptions
+// escape, so "the test ran to completion" is the assertion.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "fuzz/targets.h"
+
+namespace faircache {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> corpus_inputs() {
+  std::vector<std::vector<std::uint8_t>> inputs;
+#ifdef FAIRCACHE_FUZZ_CORPUS_DIR
+  const std::filesystem::path dir(FAIRCACHE_FUZZ_CORPUS_DIR);
+  if (std::filesystem::is_directory(dir)) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      inputs.emplace_back(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+    }
+  }
+#endif
+  // Synthetic adversarial buffers, independent of the on-disk corpus.
+  inputs.push_back({});                                   // empty input
+  inputs.push_back(std::vector<std::uint8_t>(4, 0x00));   // truncated header
+  inputs.push_back(std::vector<std::uint8_t>(64, 0x00));  // all zeros
+  inputs.push_back(std::vector<std::uint8_t>(64, 0xFF));  // all ones
+  std::vector<std::uint8_t> ramp(128);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  inputs.push_back(std::move(ramp));
+  return inputs;
+}
+
+TEST(FuzzCorpusTest, CorpusDirectoryIsPresent) {
+#ifdef FAIRCACHE_FUZZ_CORPUS_DIR
+  EXPECT_TRUE(std::filesystem::is_directory(FAIRCACHE_FUZZ_CORPUS_DIR))
+      << "seed corpus missing: " << FAIRCACHE_FUZZ_CORPUS_DIR;
+#else
+  GTEST_SKIP() << "corpus directory not configured";
+#endif
+}
+
+TEST(FuzzCorpusTest, ReplayInstanceTarget) {
+  for (const auto& input : corpus_inputs()) {
+    EXPECT_EQ(0, fuzz::run_instance_target(input.data(), input.size()));
+  }
+}
+
+TEST(FuzzCorpusTest, ReplaySolveTarget) {
+  for (const auto& input : corpus_inputs()) {
+    EXPECT_EQ(0, fuzz::run_solve_target(input.data(), input.size()));
+  }
+}
+
+}  // namespace
+}  // namespace faircache

@@ -376,6 +376,46 @@ TEST(ApproxDeterminismTest, GlobalThreadOverrideDoesNotChangePlacement) {
   }
 }
 
+// The budgeted entry point with an unlimited budget must be bit-identical to
+// the legacy run() at every thread count: the cooperative budget checks are
+// side-effect-free, so the anytime layer costs nothing when no limit is set.
+TEST(ApproxDeterminismTest, UnlimitedBudgetSolveMatchesRunAtAnyThreadCount) {
+  const Graph g = graph::make_grid(8, 8);
+  core::FairCachingProblem problem;
+  problem.network = &g;
+  problem.producer = 0;
+  problem.num_chunks = 3;
+  problem.uniform_capacity = 4;
+
+  core::ApproxFairCaching reference_appx;
+  const auto reference = reference_appx.run(problem);
+
+  for (int threads : {1, 2, 8}) {
+    util::set_parallel_threads(threads);
+    core::ApproxFairCaching appx;
+    core::SolveReport report;
+    auto result = appx.solve(problem, util::RunBudget(), &report);
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_TRUE(report.stop_reason.ok());
+    EXPECT_FALSE(report.degraded());
+    EXPECT_TRUE(report.degraded_chunks.empty());
+
+    const auto& budgeted = result.value();
+    ASSERT_EQ(reference.placements.size(), budgeted.placements.size());
+    for (std::size_t c = 0; c < reference.placements.size(); ++c) {
+      const auto& a = reference.placements[c];
+      const auto& b = budgeted.placements[c];
+      EXPECT_EQ(a.cache_nodes, b.cache_nodes) << "threads=" << threads;
+      EXPECT_EQ(a.solver_objective, b.solver_objective);  // bitwise
+      EXPECT_EQ(a.solver_rounds, b.solver_rounds);
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(reference.state.chunks_on(v), budgeted.state.chunks_on(v));
+    }
+  }
+  util::set_parallel_threads(0);  // restore default
+}
+
 TEST(SteinerTest, ThreadCountDoesNotChangeTree) {
   util::Rng rng(99);
   const auto net = random_net(80, rng);
