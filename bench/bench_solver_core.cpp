@@ -65,11 +65,33 @@ void BM_ApproxRun(benchmark::State& state) {
   state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
 }
 
+// Same end-to-end run with the Voronoi Steiner engine: Phase 2 does one
+// multi-source sweep instead of |A|+1 single-source runs. Compare against
+// BM_ApproxRun at the same Arg for the engine speedup.
+void BM_ApproxRunVoronoi(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::make_grid(side, side);
+  core::FairCachingProblem problem;
+  problem.network = &g;
+  problem.producer = 0;
+  problem.num_chunks = 5;
+  problem.uniform_capacity = 5;
+  core::ApproxConfig config;
+  config.confl.steiner_engine = steiner::Engine::kVoronoi;
+  for (auto _ : state) {
+    core::ApproxFairCaching appx(config);
+    benchmark::DoNotOptimize(appx.run(problem));
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
+}
+
 BENCHMARK(BM_ContentionBuild)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SolveConfl)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ApproxRun)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApproxRunVoronoi)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

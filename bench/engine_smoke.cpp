@@ -1,0 +1,145 @@
+// CI smoke harness for the two Steiner engines (run by the Release
+// bench-smoke job): on a fixture set of grid and random-geometric
+// instances, both engines must
+//
+//   1. be deterministic across thread counts — the FNV-1a hash of the
+//      (edges, cost-bits) stream must be identical at 1, 2 and 8 threads;
+//   2. respect the documented cross-engine bound — the Voronoi tree may
+//      cost at most twice the KMB tree (both are ≤ 2·OPT and KMB ≥ OPT,
+//      see docs/PERF.md), and neither engine may beat the other by a
+//      factor that would indicate a broken construction.
+//
+// Exits non-zero on any violation, printing the offending fixture.
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "steiner/steiner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace faircache;
+using graph::NodeId;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (x >> (8 * b)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t tree_hash(const steiner::SteinerTree& tree) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (graph::EdgeId e : tree.edges) {
+    h = fnv1a(h, static_cast<std::uint64_t>(e));
+  }
+  return fnv1a(h, std::bit_cast<std::uint64_t>(tree.cost));
+}
+
+struct Fixture {
+  std::string name;
+  graph::Graph graph;
+  std::vector<double> weight;
+  std::vector<NodeId> terminals;
+};
+
+std::vector<Fixture> make_fixtures() {
+  std::vector<Fixture> fixtures;
+  {
+    Fixture f;
+    f.name = "grid20_unit";
+    f.graph = graph::make_grid(20, 20);
+    f.weight.assign(static_cast<std::size_t>(f.graph.num_edges()), 1.0);
+    for (NodeId v = 0; v < f.graph.num_nodes(); v += 37) {
+      f.terminals.push_back(v);
+    }
+    fixtures.push_back(std::move(f));
+  }
+  {
+    util::Rng rng(1701);
+    Fixture f;
+    f.name = "grid16_weighted";
+    f.graph = graph::make_grid(16, 16);
+    f.weight.resize(static_cast<std::size_t>(f.graph.num_edges()));
+    for (auto& w : f.weight) w = rng.uniform(0.25, 5.0);
+    for (NodeId v = 3; v < f.graph.num_nodes(); v += 23) {
+      f.terminals.push_back(v);
+    }
+    fixtures.push_back(std::move(f));
+  }
+  for (const std::uint64_t seed : {11ULL, 29ULL, 83ULL}) {
+    util::Rng rng(seed);
+    graph::RandomGeometricConfig config;
+    config.num_nodes = 150;
+    config.radius = 0.18;
+    Fixture f;
+    f.name = "geo150_seed" + std::to_string(seed);
+    auto net = graph::make_random_geometric(config, rng);
+    f.graph = std::move(net.graph);
+    f.weight.resize(static_cast<std::size_t>(f.graph.num_edges()));
+    for (auto& w : f.weight) w = rng.uniform(0.5, 4.0);
+    for (NodeId v = 0; v < f.graph.num_nodes(); v += 11) {
+      f.terminals.push_back(v);
+    }
+    fixtures.push_back(std::move(f));
+  }
+  return fixtures;
+}
+
+}  // namespace
+
+int main() {
+  int failures = 0;
+  for (const Fixture& f : make_fixtures()) {
+    steiner::SteinerTree trees[2];
+    const steiner::Engine engines[2] = {steiner::Engine::kClosureKmb,
+                                        steiner::Engine::kVoronoi};
+    const char* engine_name[2] = {"kClosureKmb", "kVoronoi"};
+    for (int e = 0; e < 2; ++e) {
+      std::uint64_t hash1 = 0;
+      for (const int threads : {1, 2, 8}) {
+        const auto tree = steiner::steiner_mst_approx(
+            f.graph, f.weight, f.terminals, threads, engines[e]);
+        const std::uint64_t h = tree_hash(tree);
+        if (threads == 1) {
+          hash1 = h;
+          trees[e] = tree;
+        } else if (h != hash1) {
+          std::printf("FAIL %s %s: hash diverges at %d threads "
+                      "(%016llx vs %016llx)\n",
+                      f.name.c_str(), engine_name[e], threads,
+                      static_cast<unsigned long long>(h),
+                      static_cast<unsigned long long>(hash1));
+          ++failures;
+        }
+      }
+      std::printf("%-18s %-11s cost=%.6f hash=%016llx edges=%zu\n",
+                  f.name.c_str(), engine_name[e], trees[e].cost,
+                  static_cast<unsigned long long>(tree_hash(trees[e])),
+                  trees[e].edges.size());
+    }
+    // Documented cross-engine bound (docs/PERF.md): each engine's tree is
+    // ≤ 2·OPT while the other's is ≥ OPT, so neither may exceed twice the
+    // other's cost.
+    const double kmb = trees[0].cost;
+    const double vor = trees[1].cost;
+    if (vor > 2.0 * kmb + 1e-9 || kmb > 2.0 * vor + 1e-9) {
+      std::printf("FAIL %s: cross-engine bound violated "
+                  "(kmb=%.9f voronoi=%.9f)\n",
+                  f.name.c_str(), kmb, vor);
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::printf("engine_smoke: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("engine_smoke: OK\n");
+  return 0;
+}

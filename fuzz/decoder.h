@@ -70,13 +70,17 @@ inline void decode_problem(const std::uint8_t* data, std::size_t size,
   }
 
   // Solver options: positive steps, small span thresholds, both growth
-  // modes. Single-threaded — fuzz iterations must stay cheap.
+  // modes, both Steiner engines. Single-threaded — fuzz iterations must
+  // stay cheap.
   const std::uint8_t opt = in.u8();
   out.config.confl.growth = (opt & 0x1) != 0
                                 ? confl::GrowthMode::kEventDriven
                                 : confl::GrowthMode::kFixedStep;
   out.config.confl.alpha_step = 0.25 * (1 + ((opt >> 1) & 0x7));
   out.config.confl.gamma_step = 0.5 * (1 + ((opt >> 4) & 0x7));
+  out.config.confl.steiner_engine = (opt & 0x80) != 0
+                                        ? steiner::Engine::kVoronoi
+                                        : steiner::Engine::kClosureKmb;
   out.config.confl.span_threshold = 1 + in.u8() % 4;
   out.config.confl.threads = 1;
   out.config.instance.threads = 1;

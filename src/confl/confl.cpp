@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <queue>
 #include <utility>
 
 #include "graph/shortest_paths.h"
@@ -135,7 +137,7 @@ util::Status finish_solution(const ConflInstance& instance,
     for (double& w : scaled) w *= instance.edge_scale;
     util::Result<steiner::SteinerTree> tree = steiner::try_steiner_mst_approx(
         *instance.network, scaled, std::move(terminals), options.threads,
-        budget);
+        budget, options.steiner_engine);
     if (!tree.ok()) return tree.status();
     solution.tree = std::move(tree).value();
     solution.tree_cost = solution.tree.cost;
@@ -169,6 +171,62 @@ util::Status finish_solution(const ConflInstance& instance,
     solution.assignment_cost += weight(j) * best[static_cast<std::size_t>(j)];
   }
   return util::Status();
+}
+
+// Ascending-order weight sum over a facility's tight unfrozen clients —
+// the β payment rate. Both growth engines accumulate in this exact order,
+// so the payment-completion deltas below agree bitwise.
+template <typename WeightFn>
+double tight_rate(const std::vector<NodeId>& tight, const WeightFn& weight) {
+  double rate = 0.0;
+  for (NodeId j : tight) rate += weight(j);
+  return rate;
+}
+
+// One facility's next-event candidate, shared by the active-set engine
+// (solve_confl) and the dense reference (solve_confl_reference): while f_i
+// is uncovered, the time until payments complete; afterwards, the time
+// until the M-th SPAN request. `tight` must hold the facility's tight
+// unfrozen clients in ascending id order, `rate` must equal
+// tight_rate(tight, weight) (callers may reuse a cached value only when it
+// is bitwise equal to that re-sum), and `pending` is caller scratch.
+// Returns kInfCost when the facility contributes no event and 0.0 when an
+// opening is already due. The two engines once carried drifted copies of
+// this arithmetic; it must live in exactly one place, because their deltas
+// have to agree bit for bit.
+template <typename WeightFn>
+double facility_event_delta(double fi, double paid_i, double rate,
+                            const std::vector<NodeId>& tight,
+                            const double* cost_row, const double* gamma_row,
+                            const WeightFn& weight, double beta_rate,
+                            double gamma_rate, int span_threshold,
+                            std::vector<double>& pending) {
+  if (tight.empty()) return kInfCost;
+  if (paid_i + 1e-12 < fi) {
+    // Payment completion (rate = summed weights of tight clients).
+    if (rate > 0) return (fi - paid_i) / (rate * beta_rate);
+    return kInfCost;
+  }
+  // M-th SPAN.
+  int spans = 0;
+  pending.clear();
+  for (NodeId j : tight) {
+    const double gij = gamma_row[j];
+    const double cij = cost_row[j];
+    if (gij + 1e-12 >= cij) {
+      ++spans;
+    } else if (weight(j) > 0) {
+      pending.push_back((cij - gij) / (weight(j) * gamma_rate));
+    }
+  }
+  const int needed = span_threshold - spans;
+  if (needed <= 0) return 0.0;  // opening already due
+  if (needed <= static_cast<int>(pending.size())) {
+    std::nth_element(pending.begin(), pending.begin() + (needed - 1),
+                     pending.end());
+    return pending[static_cast<std::size_t>(needed - 1)];
+  }
+  return kInfCost;
 }
 
 }  // namespace
@@ -393,6 +451,29 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
     std::size_t delta_ptr = 0;
   };
   std::vector<EventList> events;
+
+  // Lazy-deletion event heap over the tightness candidates: one entry per
+  // tracked facility, keyed by the cost of the pair its delta_ptr rests on.
+  // Pair costs are static and the cursors are monotone, so a facility's key
+  // only ever increases — a popped entry is validated by advancing the
+  // cursor and re-pushed under its new key if stale. The round's tightness
+  // delta is then (top key − α), bitwise equal to the old full scan's
+  // min(c − α) because subtracting the shared α is monotone in c. Turns the
+  // per-round O(tracked) cursor sweep into O(log) amortized per event.
+  std::priority_queue<std::pair<double, NodeId>,
+                      std::vector<std::pair<double, NodeId>>, std::greater<>>
+      tight_heap;
+
+  // Per-facility cached β payment rate (Σ weights over its tight list) with
+  // stamp invalidation: any freeze anywhere bumps `stamp` (frozen members
+  // must be dropped before summing), and an append zeroes the facility's
+  // stamp. A hit skips the facility's O(|tight|) compact-and-sum entirely;
+  // correctness needs the cached value bitwise equal to a fresh
+  // tight_rate() re-sum, which holds exactly because a valid stamp means
+  // the membership list is unchanged since the cached sum was taken.
+  std::vector<double> cached_rate(un, 0.0);
+  std::vector<std::uint64_t> rate_stamp(un, 0);
+  std::uint64_t stamp = 1;
   // Facilities that participate in tightness events: every openable one
   // plus everything pre-opened (the root) — a constant set, since only
   // openable facilities ever open.
@@ -418,17 +499,29 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
       const std::size_t mid = tl.size();
       tl.insert(tl.end(), newly.begin(), newly.end());
       merge_tight_tail(tl, mid);
+      rate_stamp[static_cast<std::size_t>(i)] = 0;  // membership changed
     }
   };
 
   // Smallest time advance to the next event (event-driven mode). Returns 0
   // when an event is already due (process without growing). Candidates and
-  // FP expressions are those of the reference; min() over them is
-  // order-insensitive, so per-facility sorted scans give the same value.
+  // FP expressions are those of the reference (via facility_event_delta);
+  // min() over them is order-insensitive, so the heap-ordered tightness
+  // candidate and per-facility sorted scans give the same value.
+  auto compact_tight = [&](std::vector<NodeId>& tl) {
+    std::size_t out = 0;
+    for (NodeId j : tl) {
+      if (!frozen[static_cast<std::size_t>(j)]) tl[out++] = j;
+    }
+    tl.resize(out);
+  };
   std::vector<double> pending;
   auto next_event_delta = [&]() {
     double delta = kInfCost;
-    for (NodeId i : tracked) {  // tightness
+    // Tightness: pop-validate the event heap until the top entry's key
+    // matches the cost its cursor actually rests on.
+    while (!tight_heap.empty()) {
+      const auto [key, i] = tight_heap.top();
       auto& ev = events[static_cast<std::size_t>(i)];
       std::size_t& p = ev.delta_ptr;
       const auto& arr = ev.byc;
@@ -437,50 +530,42 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
               frozen[static_cast<std::size_t>(arr[p].second)])) {
         ++p;
       }
-      if (p < arr.size()) delta = std::min(delta, arr[p].first - alpha);
+      if (p >= arr.size()) {  // facility has no tightness events left
+        tight_heap.pop();
+        continue;
+      }
+      if (arr[p].first != key) {  // stale: re-push under the increased key
+        tight_heap.pop();
+        tight_heap.emplace(arr[p].first, i);
+        continue;
+      }
+      delta = arr[p].first - alpha;
+      break;
     }
     for (NodeId i : openable) {
       auto& tl = tight[static_cast<std::size_t>(i)];
-      double rate = 0.0;
-      std::size_t out = 0;
-      for (NodeId j : tl) {
-        if (frozen[static_cast<std::size_t>(j)]) continue;
-        tl[out++] = j;
-        rate += weight(j);
-      }
-      tl.resize(out);
-      if (out == 0) continue;
       const double fi = instance.facility_cost[static_cast<std::size_t>(i)];
-      if (paid[static_cast<std::size_t>(i)] + 1e-12 < fi) {
-        // Payment completion (rate = summed weights of tight clients).
-        if (rate > 0) {
-          delta = std::min(delta, (fi - paid[static_cast<std::size_t>(i)]) /
-                                      (rate * beta_rate));
+      const double pi = paid[static_cast<std::size_t>(i)];
+      double rate = 0.0;
+      if (pi + 1e-12 < fi) {
+        // Payment phase: the rate cache makes the common case O(1). A
+        // valid stamp implies no freeze since the cached sum, so the list
+        // holds no frozen members and compaction would be a no-op.
+        if (rate_stamp[static_cast<std::size_t>(i)] != stamp) {
+          compact_tight(tl);
+          cached_rate[static_cast<std::size_t>(i)] = tight_rate(tl, weight);
+          rate_stamp[static_cast<std::size_t>(i)] = stamp;
         }
-        continue;
+        rate = cached_rate[static_cast<std::size_t>(i)];
+      } else {
+        // SPAN phase: γ moves every round, so this walk cannot be cached.
+        compact_tight(tl);
       }
-      // M-th SPAN.
-      int spans = 0;
-      pending.clear();
-      const double* grow = gamma[static_cast<std::size_t>(i)];
-      const double* row = c[static_cast<std::size_t>(i)];
-      for (NodeId j : tl) {
-        const double gij = grow[j];
-        const double cij = row[j];
-        if (gij + 1e-12 >= cij) {
-          ++spans;
-        } else if (weight(j) > 0) {
-          pending.push_back((cij - gij) / (weight(j) * gamma_rate));
-        }
-      }
-      const int needed = options.span_threshold - spans;
-      if (needed <= 0) {
-        delta = 0.0;  // opening already due
-      } else if (needed <= static_cast<int>(pending.size())) {
-        std::nth_element(pending.begin(), pending.begin() + (needed - 1),
-                         pending.end());
-        delta = std::min(delta, pending[static_cast<std::size_t>(needed - 1)]);
-      }
+      delta = std::min(
+          delta, facility_event_delta(
+                     fi, pi, rate, tl, c[static_cast<std::size_t>(i)],
+                     gamma[static_cast<std::size_t>(i)], weight, beta_rate,
+                     gamma_rate, options.span_threshold, pending));
     }
     if (delta == kInfCost) delta = 0.0;  // nothing to wait for
     return std::max(delta, 0.0);
@@ -513,6 +598,12 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
         options.threads, budget);
     if (budget.expired()) return budget.status("event-list build");
     advance_tight_lists();  // pairs tight at α = 0 (zero-cost pairs)
+    // Seed the event heap with every facility's first pair; the first
+    // query's pop-validation advances past the already-tight ones.
+    for (NodeId i : tracked) {
+      const auto& arr = events[static_cast<std::size_t>(i)].byc;
+      if (!arr.empty()) tight_heap.emplace(arr.front().first, i);
+    }
   } else {
     extend_horizon(std::max(0, std::min(16, max_rounds)));
     process_bucket(0);  // pairs tight at α = 0 (zero-cost pairs)
@@ -550,6 +641,9 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
       }
       alpha = a_seq[static_cast<std::size_t>(k)];
       process_bucket(k);
+    }
+    if (options.growth_trace != nullptr) {
+      options.growth_trace->push_back(delta);
     }
 
     // 2. Tight with an already-open facility → TIGHT request accepted,
@@ -650,6 +744,7 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
     // Compact the active/openable lists so later rounds only touch live
     // entries.
     if (froze) {
+      ++stamp;  // frozen members invalidate every cached payment rate
       std::size_t out = 0;
       for (NodeId j : active) {
         if (!frozen[static_cast<std::size_t>(j)]) active[out++] = j;
@@ -728,7 +823,11 @@ ConflSolution solve_confl_reference(const ConflInstance& instance,
   const double gamma_rate = options.gamma_step / options.alpha_step;
 
   // Smallest time advance to the next event (event-driven mode). Returns 0
-  // when an event is already due (process without growing).
+  // when an event is already due (process without growing). The
+  // per-facility payment/SPAN arithmetic lives in facility_event_delta,
+  // shared with the active-set engine — the deltas must agree bit for bit.
+  std::vector<NodeId> tight;
+  std::vector<double> pending;
   auto next_event_delta = [&]() {
     double delta = kInfCost;
     for (NodeId j = 0; j < n; ++j) {
@@ -745,46 +844,21 @@ ConflSolution solve_confl_reference(const ConflInstance& instance,
       if (!openable(i)) continue;
       const double fi = instance.facility_cost[static_cast<std::size_t>(i)];
       // Tight unfrozen clients of i.
-      std::vector<NodeId> tight;
+      tight.clear();
       for (NodeId j = 0; j < n; ++j) {
         if (frozen[static_cast<std::size_t>(j)]) continue;
         if (alpha[static_cast<std::size_t>(j)] + 1e-12 >= cost(i, j)) {
           tight.push_back(j);
         }
       }
-      if (tight.empty()) continue;
-      if (paid[static_cast<std::size_t>(i)] + 1e-12 < fi) {
-        // Payment completion (rate = summed weights of tight clients).
-        double rate = 0.0;
-        for (NodeId j : tight) rate += weight(j);
-        if (rate > 0) {
-          delta = std::min(delta, (fi - paid[static_cast<std::size_t>(i)]) /
-                                      (rate * beta_rate));
-        }
-        continue;
-      }
-      // M-th SPAN.
-      int spans = 0;
-      std::vector<double> pending;
-      for (NodeId j : tight) {
-        const double gij = gamma(static_cast<std::size_t>(i),
-                                 static_cast<std::size_t>(j));
-        const double cij = cost(i, j);
-        if (gij + 1e-12 >= cij) {
-          ++spans;
-        } else if (weight(j) > 0) {
-          pending.push_back((cij - gij) / (weight(j) * gamma_rate));
-        }
-      }
-      const int needed = options.span_threshold - spans;
-      if (needed <= 0) {
-        delta = 0.0;  // opening already due
-      } else if (needed <= static_cast<int>(pending.size())) {
-        std::nth_element(pending.begin(), pending.begin() + (needed - 1),
-                         pending.end());
-        delta = std::min(delta,
-                         pending[static_cast<std::size_t>(needed - 1)]);
-      }
+      const double pi = paid[static_cast<std::size_t>(i)];
+      const double rate =
+          pi + 1e-12 < fi ? tight_rate(tight, weight) : 0.0;
+      delta = std::min(
+          delta, facility_event_delta(
+                     fi, pi, rate, tight, c[static_cast<std::size_t>(i)],
+                     gamma[static_cast<std::size_t>(i)], weight, beta_rate,
+                     gamma_rate, options.span_threshold, pending));
     }
     if (delta == kInfCost) delta = 0.0;  // nothing to wait for
     return std::max(delta, 0.0);
@@ -827,6 +901,9 @@ ConflSolution solve_confl_reference(const ConflInstance& instance,
     const double delta = options.growth == GrowthMode::kEventDriven
                              ? next_event_delta()
                              : options.alpha_step;
+    if (options.growth_trace != nullptr) {
+      options.growth_trace->push_back(delta);
+    }
     if (delta > 0) {
       for (NodeId j = 0; j < n; ++j) {
         if (!frozen[static_cast<std::size_t>(j)]) {

@@ -86,6 +86,18 @@ struct ConflOptions {
   // default, 1 = fully serial. The solution is bit-identical at any
   // setting; threading never changes the dual-growth arithmetic.
   int threads = 0;
+  // Engine used for the Phase 2 Steiner tree. The default keeps golden
+  // outputs pinned to the historical KMB construction; kVoronoi builds an
+  // equally valid 2-approximate tree from one multi-source sweep
+  // (asymptotically |A|× cheaper) and is itself deterministic and
+  // thread-invariant, but may select a different tree — switching engines
+  // changes which solution is produced, not its quality guarantee.
+  steiner::Engine steiner_engine = steiner::Engine::kClosureKmb;
+  // Test/diagnostic hook: when non-null, every growth round's time advance
+  // (the per-round delta; alpha_step in fixed-step mode) is appended. Used
+  // to pin the active-set and reference growth loops to identical event
+  // sequences. Not part of the solver contract.
+  std::vector<double>* growth_trace = nullptr;
 };
 
 struct ConflSolution {

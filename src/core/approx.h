@@ -23,6 +23,10 @@
 namespace faircache::core {
 
 struct ApproxConfig {
+  // Per-chunk ConFL solver knobs. `confl.steiner_engine` selects the
+  // Phase 2 tree construction: the default kClosureKmb keeps golden
+  // outputs pinned; kVoronoi gives the same 2-approximation from one
+  // multi-source sweep and is the fast choice on large networks.
   confl::ConflOptions confl;
   InstanceOptions instance;
 };

@@ -160,15 +160,101 @@ NodeWeightedPaths dijkstra_node_weights(const Graph& g, NodeId source,
   return out;
 }
 
-EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
-                                        const std::vector<double>& weight,
-                                        const std::vector<char>* settle_only,
-                                        const CsrAdjacency* adj,
-                                        const std::vector<double>* slot_weight) {
-  FAIRCACHE_CHECK(g.contains(source), "dijkstra source out of range");
-  FAIRCACHE_CHECK(static_cast<int>(weight.size()) == g.num_edges(),
-                  "edge weight vector size mismatch");
-  CsrAdjacency local;
+namespace {
+
+// Indexed 4-ary min-heap machinery shared by the edge-weighted Dijkstra
+// variants. Keys pack the cost's bit pattern and the node id into one
+// 96-bit integer: path costs are sums of non-negative weights, and
+// non-negative IEEE doubles compare identically to their bit patterns, so a
+// single integer compare gives the lexicographic (cost, id) order without
+// any FP-compare branching. The pop sequence is the same as a lazy-deletion
+// binary heap's — both always yield the live entry with the smallest
+// (cost, id) pair — but decrease-key replaces stale duplicates, so the heap
+// never exceeds the frontier size.
+//
+// pos: kUnvisited → never enqueued, kSettled → popped, otherwise the node's
+// heap slot. `State` is any per-node struct with an `int pos` field; the
+// heap keeps state[key_id(k)].pos in sync with the key's slot.
+using HeapKey = unsigned __int128;
+
+constexpr int kUnvisited = -1;
+constexpr int kSettled = -2;
+
+inline HeapKey make_key(double cost, NodeId id) {
+  return (HeapKey{std::bit_cast<std::uint64_t>(cost)} << 32) |
+         HeapKey{static_cast<std::uint32_t>(id)};
+}
+inline NodeId key_id(HeapKey k) {
+  return static_cast<NodeId>(static_cast<std::uint32_t>(k));
+}
+inline double key_cost(HeapKey k) {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(k >> 32));
+}
+
+template <typename State>
+struct IndexedCostHeap {
+  std::vector<HeapKey> slots;
+  State* state = nullptr;
+
+  bool empty() const { return slots.empty(); }
+
+  void sift_up(std::size_t k, HeapKey v) {
+    while (k > 0) {
+      const std::size_t p = (k - 1) / 4;
+      if (v >= slots[p]) break;
+      slots[k] = slots[p];
+      state[static_cast<std::size_t>(key_id(slots[k]))].pos =
+          static_cast<int>(k);
+      k = p;
+    }
+    slots[k] = v;
+    state[static_cast<std::size_t>(key_id(v))].pos = static_cast<int>(k);
+  }
+
+  void sift_down(std::size_t k, HeapKey v) {
+    const std::size_t sz = slots.size();
+    for (;;) {
+      const std::size_t first = 4 * k + 1;
+      if (first >= sz) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, sz);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (slots[c] < slots[best]) best = c;
+      }
+      if (slots[best] >= v) break;
+      slots[k] = slots[best];
+      state[static_cast<std::size_t>(key_id(slots[k]))].pos =
+          static_cast<int>(k);
+      k = best;
+    }
+    slots[k] = v;
+    state[static_cast<std::size_t>(key_id(v))].pos = static_cast<int>(k);
+  }
+
+  // Marks the min entry settled and removes it; returns its key.
+  HeapKey pop_min() {
+    const HeapKey top = slots[0];
+    const HeapKey tail = slots.back();
+    slots.pop_back();
+    state[static_cast<std::size_t>(key_id(top))].pos = kSettled;
+    if (!slots.empty()) sift_down(0, tail);
+    return top;
+  }
+
+  // Inserts node w with the given key, or decreases its existing key.
+  void push_or_decrease(double cost, NodeId w, int pos) {
+    if (pos == kUnvisited) {
+      slots.emplace_back();
+      sift_up(slots.size() - 1, make_key(cost, w));
+    } else {
+      sift_up(static_cast<std::size_t>(pos), make_key(cost, w));
+    }
+  }
+};
+
+const CsrAdjacency* resolve_adjacency(const Graph& g, const CsrAdjacency* adj,
+                                      const std::vector<double>* slot_weight,
+                                      CsrAdjacency& local) {
   if (adj == nullptr) {
     FAIRCACHE_CHECK(slot_weight == nullptr,
                     "slot_weight requires a csr adjacency");
@@ -181,6 +267,21 @@ EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
   FAIRCACHE_CHECK(
       slot_weight == nullptr || slot_weight->size() == adj->incident.size(),
       "slot weight size mismatch");
+  return adj;
+}
+
+}  // namespace
+
+EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
+                                        const std::vector<double>& weight,
+                                        const std::vector<char>* settle_only,
+                                        const CsrAdjacency* adj,
+                                        const std::vector<double>* slot_weight) {
+  FAIRCACHE_CHECK(g.contains(source), "dijkstra source out of range");
+  FAIRCACHE_CHECK(static_cast<int>(weight.size()) == g.num_edges(),
+                  "edge weight vector size mismatch");
+  CsrAdjacency local;
+  adj = resolve_adjacency(g, adj, slot_weight, local);
 
   EdgeWeightedPaths out;
   out.source = source;
@@ -194,10 +295,6 @@ EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
 
   // Per-node search state, packed so that one relaxation touches one cache
   // line instead of four parallel arrays; copied into `out` at the end.
-  // pos: kUnvisited → never enqueued, kSettled → popped, otherwise the
-  // node's heap slot.
-  constexpr int kUnvisited = -1;
-  constexpr int kSettled = -2;
   struct NodeState {
     double cost = kInfCost;
     NodeId parent = kInvalidNode;
@@ -205,69 +302,15 @@ EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
     int pos = kUnvisited;
   };
   std::vector<NodeState> state(n);
-
-  // Indexed 4-ary min-heap keyed by (cost, node id). The pop sequence is the
-  // same as a lazy-deletion binary heap's — both always yield the live entry
-  // with the smallest (cost, id) pair — but decrease-key replaces stale
-  // duplicates, so the heap never exceeds the frontier size. Keys pack the
-  // cost's bit pattern and the node id into one 96-bit integer: path costs
-  // are sums of non-negative weights, and non-negative IEEE doubles compare
-  // identically to their bit patterns, so a single integer compare gives the
-  // lexicographic (cost, id) order without any FP-compare branching.
-  using HeapKey = unsigned __int128;
-  const auto make_key = [](double cost, NodeId id) {
-    return (HeapKey{std::bit_cast<std::uint64_t>(cost)} << 32) |
-           HeapKey{static_cast<std::uint32_t>(id)};
-  };
-  const auto key_id = [](HeapKey k) {
-    return static_cast<NodeId>(static_cast<std::uint32_t>(k));
-  };
-  const auto key_cost = [](HeapKey k) {
-    return std::bit_cast<double>(static_cast<std::uint64_t>(k >> 32));
-  };
-  std::vector<HeapKey> heap;
-  const auto sift_up = [&](std::size_t k, HeapKey v) {
-    while (k > 0) {
-      const std::size_t p = (k - 1) / 4;
-      if (v >= heap[p]) break;
-      heap[k] = heap[p];
-      state[static_cast<std::size_t>(key_id(heap[k]))].pos =
-          static_cast<int>(k);
-      k = p;
-    }
-    heap[k] = v;
-    state[static_cast<std::size_t>(key_id(v))].pos = static_cast<int>(k);
-  };
-  const auto sift_down = [&](std::size_t k, HeapKey v) {
-    const std::size_t sz = heap.size();
-    for (;;) {
-      const std::size_t first = 4 * k + 1;
-      if (first >= sz) break;
-      std::size_t best = first;
-      const std::size_t end = std::min(first + 4, sz);
-      for (std::size_t c = first + 1; c < end; ++c) {
-        if (heap[c] < heap[best]) best = c;
-      }
-      if (heap[best] >= v) break;
-      heap[k] = heap[best];
-      state[static_cast<std::size_t>(key_id(heap[k]))].pos =
-          static_cast<int>(k);
-      k = best;
-    }
-    heap[k] = v;
-    state[static_cast<std::size_t>(key_id(v))].pos = static_cast<int>(k);
-  };
+  IndexedCostHeap<NodeState> heap{{}, state.data()};
 
   state[static_cast<std::size_t>(source)].cost = 0.0;
   state[static_cast<std::size_t>(source)].pos = 0;
-  heap.push_back(make_key(0.0, source));
+  heap.slots.push_back(make_key(0.0, source));
   while (!heap.empty()) {
-    const NodeId v = key_id(heap[0]);
-    const double cost = key_cost(heap[0]);
-    const HeapKey tail = heap.back();
-    heap.pop_back();
-    state[static_cast<std::size_t>(v)].pos = kSettled;
-    if (!heap.empty()) sift_down(0, tail);
+    const HeapKey top = heap.pop_min();
+    const NodeId v = key_id(top);
+    const double cost = key_cost(top);
     if (settle_only != nullptr &&
         (*settle_only)[static_cast<std::size_t>(v)] != 0 && --wanted == 0) {
       break;  // everything the caller reads is final now
@@ -287,12 +330,7 @@ EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
         ws.cost = cand;
         ws.parent = v;
         ws.parent_edge = e;
-        if (ws.pos == kUnvisited) {
-          heap.emplace_back();
-          sift_up(heap.size() - 1, make_key(cand, w));
-        } else {
-          sift_up(static_cast<std::size_t>(ws.pos), make_key(cand, w));
-        }
+        heap.push_or_decrease(cand, w, ws.pos);
       }
     }
   }
@@ -302,6 +340,82 @@ EdgeWeightedPaths dijkstra_edge_weights(const Graph& g, NodeId source,
   out.parent_edge.resize(n);
   for (std::size_t v = 0; v < n; ++v) {
     out.cost[v] = state[v].cost;
+    out.parent[v] = state[v].parent;
+    out.parent_edge[v] = state[v].parent_edge;
+  }
+  return out;
+}
+
+VoronoiPartition voronoi_partition(const Graph& g,
+                                   const std::vector<NodeId>& seeds,
+                                   const std::vector<double>& weight,
+                                   const CsrAdjacency* adj,
+                                   const std::vector<double>* slot_weight) {
+  FAIRCACHE_CHECK(!seeds.empty(), "voronoi partition needs at least one seed");
+  FAIRCACHE_CHECK(static_cast<int>(weight.size()) == g.num_edges(),
+                  "edge weight vector size mismatch");
+  CsrAdjacency local;
+  adj = resolve_adjacency(g, adj, slot_weight, local);
+
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  struct NodeState {
+    double cost = kInfCost;
+    NodeId nearest = kInvalidNode;
+    NodeId parent = kInvalidNode;
+    EdgeId parent_edge = -1;
+    int pos = kUnvisited;
+  };
+  std::vector<NodeState> state(n);
+  IndexedCostHeap<NodeState> heap{{}, state.data()};
+
+  // Seed every region at cost 0. A seed is never re-parented: a 0-cost
+  // relaxation ties on cost and loses the `v < parent` comparison against
+  // kInvalidNode, exactly as the single-source run protects its source.
+  heap.slots.reserve(seeds.size());
+  for (NodeId s : seeds) {
+    FAIRCACHE_CHECK(g.contains(s), "voronoi seed out of range");
+    NodeState& ss = state[static_cast<std::size_t>(s)];
+    FAIRCACHE_CHECK(ss.pos == kUnvisited, "duplicate voronoi seed");
+    ss.cost = 0.0;
+    ss.nearest = s;
+    heap.slots.push_back(make_key(0.0, s));
+    heap.sift_up(heap.slots.size() - 1, heap.slots.back());
+  }
+
+  while (!heap.empty()) {
+    const HeapKey top = heap.pop_min();
+    const NodeId v = key_id(top);
+    const double cost = key_cost(top);
+    const NodeId owner = state[static_cast<std::size_t>(v)].nearest;
+    const int end = adj->offset[static_cast<std::size_t>(v) + 1];
+    for (int k = adj->offset[static_cast<std::size_t>(v)]; k < end; ++k) {
+      const NodeId w = adj->neighbor[static_cast<std::size_t>(k)];
+      NodeState& ws = state[static_cast<std::size_t>(w)];
+      if (ws.pos == kSettled) continue;
+      const EdgeId e = adj->incident[static_cast<std::size_t>(k)];
+      const double ew = slot_weight != nullptr
+                            ? (*slot_weight)[static_cast<std::size_t>(k)]
+                            : weight[static_cast<std::size_t>(e)];
+      FAIRCACHE_DCHECK(ew >= 0, "edge weights must be non-negative");
+      const double cand = cost + ew;
+      if (cand < ws.cost || (cand == ws.cost && v < ws.parent)) {
+        ws.cost = cand;
+        ws.nearest = owner;
+        ws.parent = v;
+        ws.parent_edge = e;
+        heap.push_or_decrease(cand, w, ws.pos);
+      }
+    }
+  }
+
+  VoronoiPartition out;
+  out.cost.resize(n);
+  out.nearest.resize(n);
+  out.parent.resize(n);
+  out.parent_edge.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out.cost[v] = state[v].cost;
+    out.nearest[v] = state[v].nearest;
     out.parent[v] = state[v].parent;
     out.parent_edge[v] = state[v].parent_edge;
   }

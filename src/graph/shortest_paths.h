@@ -96,6 +96,32 @@ EdgeWeightedPaths dijkstra_edge_weights(
     const CsrAdjacency* adj = nullptr,
     const std::vector<double>* slot_weight = nullptr);
 
+// Nearest-seed partition from one multi-source Dijkstra sweep — the
+// Voronoi decomposition at the heart of Mehlhorn's Steiner construction.
+// Every node is labelled with the seed it is closest to; parent chains
+// walk back toward that seed. One O(m log n) sweep replaces |seeds|
+// single-source runs when only nearest-seed information is needed.
+//
+// Tie-breaking matches dijkstra_edge_weights exactly (lower cost, then
+// smaller parent id; the heap pops ascending (cost, node id)), so the
+// partition is deterministic and independent of the seed order. Seeds have
+// cost 0, themselves as `nearest`, and no parent.
+struct VoronoiPartition {
+  std::vector<double> cost;         // distance to the nearest seed
+  std::vector<NodeId> nearest;      // owning seed; kInvalidNode if unreached
+  std::vector<NodeId> parent;       // kInvalidNode for seeds / unreachable
+  std::vector<EdgeId> parent_edge;  // edge to parent, -1 if none
+};
+
+// `seeds` must be non-empty, in-range, and duplicate-free. `adj` /
+// `slot_weight` follow the dijkstra_edge_weights contract (optional
+// prebuilt CSR adjacency and slot-aligned weights; the result does not
+// depend on whether either is supplied).
+VoronoiPartition voronoi_partition(
+    const Graph& g, const std::vector<NodeId>& seeds,
+    const std::vector<double>& weight, const CsrAdjacency* adj = nullptr,
+    const std::vector<double>* slot_weight = nullptr);
+
 // Floyd–Warshall over explicit edge weights (dense). Used as an oracle in
 // tests and by the metric-closure construction.
 std::vector<std::vector<double>> floyd_warshall(

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "graph/shortest_paths.h"
+#include "util/matrix.h"
 #include "util/parallel.h"
 
 namespace faircache::steiner {
@@ -51,57 +52,21 @@ struct DisjointSet {
   std::vector<std::size_t> parent;
 };
 
-}  // namespace
-
-SteinerTree steiner_mst_approx(const Graph& g,
-                               const std::vector<double>& edge_weight,
-                               std::vector<NodeId> terminals, int threads) {
-  util::Result<SteinerTree> result =
-      try_steiner_mst_approx(g, edge_weight, std::move(terminals), threads);
-  if (!result.ok()) {
-    util::check_failed("try_steiner_mst_approx(...).ok()", __FILE__, __LINE__,
-                       result.status().message());
-  }
-  return std::move(result).value();
-}
-
-util::Result<SteinerTree> try_steiner_mst_approx(
-    const Graph& g, const std::vector<double>& edge_weight,
-    std::vector<NodeId> terminals, int threads,
+// Steps 1–3 of the KMB engine: per-terminal shortest-path trees, Prim over
+// the implicit terminal metric closure, and expansion of the selected
+// closure edges into real graph edges (with possible duplicates — the
+// shared tail sorts and deduplicates).
+util::Result<std::vector<EdgeId>> closure_union_edges(
+    const Graph& g, const std::vector<NodeId>& terminals,
+    const std::vector<char>& is_terminal, const graph::CsrAdjacency& adj,
+    const std::vector<double>& slot_weight,
+    const std::vector<double>& edge_weight, int threads,
     const util::RunBudget& budget) {
-  if (static_cast<int>(edge_weight.size()) != g.num_edges()) {
-    return util::Status::invalid_input("edge weight vector size mismatch");
-  }
-  std::sort(terminals.begin(), terminals.end());
-  terminals.erase(std::unique(terminals.begin(), terminals.end()),
-                  terminals.end());
-  if (terminals.empty()) {
-    return util::Status::invalid_input("need at least one terminal");
-  }
-  for (NodeId t : terminals) {
-    if (!g.contains(t)) {
-      return util::Status::invalid_input("terminal out of range");
-    }
-  }
-
-  SteinerTree result;
-  if (terminals.size() == 1) return result;
-
   // 1. Shortest-path trees from every terminal — independent single-source
   // runs, computed in parallel. Each run may stop once every terminal is
   // settled: the closure weights below read only terminal costs, and the
   // expansion step walks parent chains of settled nodes, both final by
   // then.
-  std::vector<char> is_terminal_flag(static_cast<std::size_t>(g.num_nodes()),
-                                     0);
-  for (NodeId t : terminals) {
-    is_terminal_flag[static_cast<std::size_t>(t)] = 1;
-  }
-  const graph::CsrAdjacency adj = graph::build_csr(g);
-  std::vector<double> slot_weight(adj.incident.size());
-  for (std::size_t k = 0; k < adj.incident.size(); ++k) {
-    slot_weight[k] = edge_weight[static_cast<std::size_t>(adj.incident[k])];
-  }
   std::vector<graph::EdgeWeightedPaths> trees(terminals.size());
   util::parallel_for(
       terminals.size(),
@@ -109,7 +74,7 @@ util::Result<SteinerTree> try_steiner_mst_approx(
         budget.charge();
         trees[t] =
             graph::dijkstra_edge_weights(g, terminals[t], edge_weight,
-                                         &is_terminal_flag, &adj, &slot_weight);
+                                         &is_terminal, &adj, &slot_weight);
       },
       threads, budget);
   if (budget.expired()) {
@@ -172,6 +137,213 @@ util::Result<SteinerTree> try_steiner_mst_approx(
       }
     }
   }
+  return union_edges;
+}
+
+// The Mehlhorn engine: one multi-source Dijkstra partitions the graph into
+// terminal Voronoi regions; every edge crossing two regions proposes a
+// terminal-graph edge of weight dist(u, s(u)) + w(e) + dist(v, s(v)).
+// Mehlhorn's lemma: the terminal graph induced by these boundary candidates
+// contains an MST of the full terminal metric closure, so Kruskal over the
+// candidates selects a closure MST and the KMB analysis carries over
+// unchanged — at O(m log n) total instead of |T| single-source runs.
+util::Result<std::vector<EdgeId>> voronoi_union_edges(
+    const Graph& g, const std::vector<NodeId>& terminals,
+    const graph::CsrAdjacency& adj, const std::vector<double>& slot_weight,
+    const std::vector<double>& edge_weight, const util::RunBudget& budget) {
+  budget.charge();  // one unit: the single multi-source sweep
+  const graph::VoronoiPartition vor =
+      graph::voronoi_partition(g, terminals, edge_weight, &adj, &slot_weight);
+  if (budget.expired()) return budget.status("steiner voronoi sweep");
+
+  // Dense terminal-id → terminal-ordinal map for the Kruskal union-find.
+  std::vector<int> ordinal(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (std::size_t t = 0; t < terminals.size(); ++t) {
+    ordinal[static_cast<std::size_t>(terminals[t])] = static_cast<int>(t);
+  }
+
+  // Boundary candidates. (w, a, b, e) with the unique edge id last is a
+  // strict total order, so the sort — and therefore the Kruskal selection —
+  // is deterministic even among equal-weight parallel candidates.
+  struct Candidate {
+    double w;
+    NodeId a, b;  // terminal pair, a < b
+    EdgeId e;     // the crossing edge
+  };
+  std::vector<Candidate> candidates;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    const NodeId su = vor.nearest[static_cast<std::size_t>(edge.u)];
+    const NodeId sv = vor.nearest[static_cast<std::size_t>(edge.v)];
+    if (su == sv || su == kInvalidNode || sv == kInvalidNode) continue;
+    const double w = vor.cost[static_cast<std::size_t>(edge.u)] +
+                     edge_weight[static_cast<std::size_t>(e)] +
+                     vor.cost[static_cast<std::size_t>(edge.v)];
+    candidates.push_back({w, std::min(su, sv), std::max(su, sv), e});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              return std::tie(x.w, x.a, x.b, x.e) <
+                     std::tie(y.w, y.a, y.b, y.e);
+            });
+
+  // Kruskal over terminal ordinals; every selected candidate expands to the
+  // two walks back to the owning terminals plus the crossing edge itself.
+  DisjointSet dsu(terminals.size());
+  std::vector<EdgeId> union_edges;
+  std::size_t joined = 0;
+  const auto walk_to_seed = [&](NodeId from) {
+    for (NodeId x = from;
+         vor.parent[static_cast<std::size_t>(x)] != kInvalidNode;
+         x = vor.parent[static_cast<std::size_t>(x)]) {
+      union_edges.push_back(vor.parent_edge[static_cast<std::size_t>(x)]);
+    }
+  };
+  for (const Candidate& c : candidates) {
+    if (joined + 1 == terminals.size()) break;
+    if (!dsu.unite(static_cast<std::size_t>(ordinal[
+                       static_cast<std::size_t>(c.a)]),
+                   static_cast<std::size_t>(ordinal[
+                       static_cast<std::size_t>(c.b)]))) {
+      continue;
+    }
+    ++joined;
+    const auto& edge = g.edge(c.e);
+    walk_to_seed(edge.u);
+    walk_to_seed(edge.v);
+    union_edges.push_back(c.e);
+  }
+  if (joined + 1 != terminals.size()) {
+    return util::Status::infeasible("terminals are not mutually reachable");
+  }
+  if (budget.expired()) return budget.status("steiner voronoi terminal MST");
+  return union_edges;
+}
+
+}  // namespace
+
+std::vector<EdgeId> prune_non_terminal_leaves(
+    const Graph& g, std::vector<EdgeId> tree_edges,
+    const std::vector<char>& is_terminal) {
+  FAIRCACHE_CHECK(
+      is_terminal.size() == static_cast<std::size_t>(g.num_nodes()),
+      "terminal flag vector size mismatch");
+  if (!tree_edges.empty()) {
+    const auto n = static_cast<std::size_t>(g.num_nodes());
+    // Degree-decrement worklist: removing a leaf edge only ever creates a
+    // new candidate at its surviving endpoint, so each edge and node is
+    // touched O(1) times — no per-pass O(V) degree rebuilds, which went
+    // quadratic on long dangling paths.
+    std::vector<int> degree(n, 0);
+    for (EdgeId e : tree_edges) {
+      ++degree[static_cast<std::size_t>(g.edge(e).u)];
+      ++degree[static_cast<std::size_t>(g.edge(e).v)];
+    }
+    // CSR of tree-edge indexes per node, with a per-node skip cursor.
+    std::vector<std::size_t> offset(n + 1, 0);
+    for (EdgeId e : tree_edges) {
+      ++offset[static_cast<std::size_t>(g.edge(e).u) + 1];
+      ++offset[static_cast<std::size_t>(g.edge(e).v) + 1];
+    }
+    for (std::size_t v = 0; v < n; ++v) offset[v + 1] += offset[v];
+    std::vector<std::size_t> slot(2 * tree_edges.size());
+    std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+    for (std::size_t idx = 0; idx < tree_edges.size(); ++idx) {
+      const auto& edge = g.edge(tree_edges[idx]);
+      slot[cursor[static_cast<std::size_t>(edge.u)]++] = idx;
+      slot[cursor[static_cast<std::size_t>(edge.v)]++] = idx;
+    }
+    std::copy(offset.begin(), offset.end() - 1, cursor.begin());
+
+    std::vector<char> removed(tree_edges.size(), 0);
+    std::vector<NodeId> work;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (degree[v] == 1 && !is_terminal[v]) {
+        work.push_back(static_cast<NodeId>(v));
+      }
+    }
+    while (!work.empty()) {
+      const auto v = static_cast<std::size_t>(work.back());
+      work.pop_back();
+      if (degree[v] != 1) continue;  // its last edge was removed meanwhile
+      std::size_t& c = cursor[v];
+      while (removed[slot[c]]) ++c;
+      const std::size_t idx = slot[c];
+      removed[idx] = 1;
+      const auto& edge = g.edge(tree_edges[idx]);
+      const auto w = static_cast<std::size_t>(
+          edge.u == static_cast<NodeId>(v) ? edge.v : edge.u);
+      --degree[v];
+      --degree[w];
+      if (degree[w] == 1 && !is_terminal[w]) {
+        work.push_back(static_cast<NodeId>(w));
+      }
+    }
+    std::size_t out = 0;
+    for (std::size_t idx = 0; idx < tree_edges.size(); ++idx) {
+      if (!removed[idx]) tree_edges[out++] = tree_edges[idx];
+    }
+    tree_edges.resize(out);
+  }
+  std::sort(tree_edges.begin(), tree_edges.end());
+  return tree_edges;
+}
+
+SteinerTree steiner_mst_approx(const Graph& g,
+                               const std::vector<double>& edge_weight,
+                               std::vector<NodeId> terminals, int threads,
+                               Engine engine) {
+  util::Result<SteinerTree> result = try_steiner_mst_approx(
+      g, edge_weight, std::move(terminals), threads, {}, engine);
+  if (!result.ok()) {
+    util::check_failed("try_steiner_mst_approx(...).ok()", __FILE__, __LINE__,
+                       result.status().message());
+  }
+  return std::move(result).value();
+}
+
+util::Result<SteinerTree> try_steiner_mst_approx(
+    const Graph& g, const std::vector<double>& edge_weight,
+    std::vector<NodeId> terminals, int threads,
+    const util::RunBudget& budget, Engine engine) {
+  if (static_cast<int>(edge_weight.size()) != g.num_edges()) {
+    return util::Status::invalid_input("edge weight vector size mismatch");
+  }
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  if (terminals.empty()) {
+    return util::Status::invalid_input("need at least one terminal");
+  }
+  for (NodeId t : terminals) {
+    if (!g.contains(t)) {
+      return util::Status::invalid_input("terminal out of range");
+    }
+  }
+
+  SteinerTree result;
+  if (terminals.size() == 1) return result;
+
+  std::vector<char> is_terminal(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId t : terminals) {
+    is_terminal[static_cast<std::size_t>(t)] = 1;
+  }
+  const graph::CsrAdjacency adj = graph::build_csr(g);
+  std::vector<double> slot_weight(adj.incident.size());
+  for (std::size_t k = 0; k < adj.incident.size(); ++k) {
+    slot_weight[k] = edge_weight[static_cast<std::size_t>(adj.incident[k])];
+  }
+
+  // Engine-specific front half: a closure MST expanded into real graph
+  // edges (with duplicates).
+  util::Result<std::vector<EdgeId>> union_result =
+      engine == Engine::kVoronoi
+          ? voronoi_union_edges(g, terminals, adj, slot_weight, edge_weight,
+                                budget)
+          : closure_union_edges(g, terminals, is_terminal, adj, slot_weight,
+                                edge_weight, threads, budget);
+  if (!union_result.ok()) return union_result.status();
+  std::vector<EdgeId> union_edges = std::move(union_result).value();
   std::sort(union_edges.begin(), union_edges.end());
   union_edges.erase(std::unique(union_edges.begin(), union_edges.end()),
                     union_edges.end());
@@ -195,37 +367,8 @@ util::Result<SteinerTree> try_steiner_mst_approx(
   }
 
   // 5. Prune non-terminal leaves repeatedly.
-  std::vector<char> is_terminal(static_cast<std::size_t>(g.num_nodes()), 0);
-  for (NodeId t : terminals) is_terminal[static_cast<std::size_t>(t)] = 1;
-  bool pruned = true;
-  while (pruned) {
-    pruned = false;
-    std::vector<int> tree_degree(static_cast<std::size_t>(g.num_nodes()), 0);
-    for (EdgeId e : tree_edges) {
-      ++tree_degree[static_cast<std::size_t>(g.edge(e).u)];
-      ++tree_degree[static_cast<std::size_t>(g.edge(e).v)];
-    }
-    std::vector<EdgeId> kept;
-    kept.reserve(tree_edges.size());
-    for (EdgeId e : tree_edges) {
-      const auto& edge = g.edge(e);
-      const bool u_leaf =
-          tree_degree[static_cast<std::size_t>(edge.u)] == 1 &&
-          !is_terminal[static_cast<std::size_t>(edge.u)];
-      const bool v_leaf =
-          tree_degree[static_cast<std::size_t>(edge.v)] == 1 &&
-          !is_terminal[static_cast<std::size_t>(edge.v)];
-      if (u_leaf || v_leaf) {
-        pruned = true;
-      } else {
-        kept.push_back(e);
-      }
-    }
-    tree_edges = std::move(kept);
-  }
-
-  std::sort(tree_edges.begin(), tree_edges.end());
-  result.edges = std::move(tree_edges);
+  result.edges =
+      prune_non_terminal_leaves(g, std::move(tree_edges), is_terminal);
   result.cost = 0.0;
   for (EdgeId e : result.edges) {
     result.cost += edge_weight[static_cast<std::size_t>(e)];
@@ -249,27 +392,33 @@ double steiner_exact_dreyfus_wagner(const Graph& g,
   const auto n = static_cast<std::size_t>(g.num_nodes());
   const std::size_t full = (std::size_t{1} << t) - 1;
 
-  // dp[mask][v] = min cost of a tree spanning terminals(mask) ∪ {v}.
-  std::vector<std::vector<double>> dp(full + 1,
-                                      std::vector<double>(n, kInfCost));
+  // dp[mask][v] = min cost of a tree spanning terminals(mask) ∪ {v}. Flat
+  // row-major storage (one allocation, cache-adjacent rows); singleton
+  // rows are overwritten wholesale from the Dijkstra costs and every other
+  // row is filled with +inf below, so no value-initialization is needed.
+  util::Matrix<double> dp;
+  dp.assign_no_init(full + 1, n);
+  for (std::size_t mask = 0; mask <= full; ++mask) {
+    if (mask != 0 && (mask & (mask - 1)) == 0) continue;  // seeded below
+    std::fill(dp[mask], dp[mask] + n, kInfCost);
+  }
   // Pairwise shortest paths seed the singleton masks.
   for (std::size_t i = 0; i < t; ++i) {
     const auto paths = graph::dijkstra_edge_weights(
         g, terminals[i], edge_weight);
-    for (std::size_t v = 0; v < n; ++v) {
-      dp[std::size_t{1} << i][v] = paths.cost[v];
-    }
+    std::copy(paths.cost.begin(), paths.cost.end(),
+              dp[std::size_t{1} << i]);
   }
 
   for (std::size_t mask = 1; mask <= full; ++mask) {
     if ((mask & (mask - 1)) == 0) continue;  // singleton handled above
-    auto& row = dp[mask];
+    double* row = dp[mask];
     // Merge step: split the terminal set at every node.
     for (std::size_t sub = (mask - 1) & mask; sub != 0;
          sub = (sub - 1) & mask) {
       if (sub < (mask ^ sub)) break;  // each split considered once
-      const auto& lhs = dp[sub];
-      const auto& rhs = dp[mask ^ sub];
+      const double* lhs = dp[sub];
+      const double* rhs = dp[mask ^ sub];
       for (std::size_t v = 0; v < n; ++v) {
         if (lhs[v] == kInfCost || rhs[v] == kInfCost) continue;
         row[v] = std::min(row[v], lhs[v] + rhs[v]);

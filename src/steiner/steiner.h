@@ -5,14 +5,14 @@
 // (constraint (6) of the ILP), and the dissemination cost is the sum of the
 // chosen edges' contention costs.
 //
-// Two implementations:
-//  * `steiner_mst_approx` — the classic metric-closure MST construction
-//    (Kou–Markowsky–Berman), a 2-approximation: shortest paths between
-//    terminals → MST of the terminal closure → expand MST edges to real
-//    paths → MST of the union → prune non-terminal leaves. The paper cites
-//    the 1.55-ratio Robins–Zelikovsky algorithm; any constant-factor tree
-//    keeps the ConFL analysis intact, and KMB is the standard practical
-//    choice.
+// Implementations:
+//  * `steiner_mst_approx` — a 2-approximation with two selectable engines
+//    (`Engine` below): the classic Kou–Markowsky–Berman metric-closure MST
+//    construction, and Mehlhorn's Voronoi-partition variant that reaches
+//    the same ratio from a single multi-source Dijkstra sweep. The paper
+//    cites the 1.55-ratio Robins–Zelikovsky algorithm; any constant-factor
+//    tree keeps the ConFL analysis intact, and KMB/Mehlhorn are the
+//    standard practical choices.
 //  * `steiner_exact_dreyfus_wagner` — exponential-in-|terminals| exact DP,
 //    used as the optimality oracle in tests and by the tiny-instance exact
 //    solver.
@@ -25,6 +25,26 @@
 
 namespace faircache::steiner {
 
+// Selects how the 2-approximate tree is built. Both engines finish with
+// the same MST-of-union → prune pipeline and both carry the 2(1 − 1/|T|)
+// approximation guarantee; they may return different (equally valid) trees
+// on the same instance, so the engine choice is part of a solver's
+// determinism contract.
+enum class Engine {
+  // Kou–Markowsky–Berman over the terminal metric closure: one
+  // shortest-path tree per terminal (computed in parallel, with early exit
+  // once every terminal is settled), then Prim over the implicit closure.
+  // O(|T| · m log n). The historical default; golden outputs are pinned
+  // against it.
+  kClosureKmb,
+  // Mehlhorn's Voronoi-partition construction: one multi-source Dijkstra
+  // labels every node with its nearest terminal, Voronoi boundary edges
+  // induce the terminal distance graph, and Kruskal over those boundary
+  // candidates selects the closure MST. O(m log n) total — asymptotically
+  // |T|× cheaper than kClosureKmb, the engine of choice for large solves.
+  kVoronoi,
+};
+
 struct SteinerTree {
   std::vector<graph::EdgeId> edges;  // tree edges (sorted, unique)
   double cost = 0.0;                 // sum of edge weights
@@ -35,26 +55,38 @@ struct SteinerTree {
 
 // 2-approximate Steiner tree connecting `terminals` (deduplicated; must be
 // non-empty and mutually reachable). A single terminal yields an empty tree.
-// The per-terminal shortest-path trees are computed in parallel (threads ==
-// 0 means the util::parallel_threads() default); the result is bit-identical
-// at any thread count.
+// Under kClosureKmb the per-terminal shortest-path trees are computed in
+// parallel (threads == 0 means the util::parallel_threads() default);
+// kVoronoi runs one serial multi-source sweep. Either engine's result is
+// bit-identical at any thread count.
 SteinerTree steiner_mst_approx(const graph::Graph& g,
                                const std::vector<double>& edge_weight,
                                std::vector<graph::NodeId> terminals,
-                               int threads = 0);
+                               int threads = 0,
+                               Engine engine = Engine::kClosureKmb);
 
 // Non-throwing, budget-aware variant of steiner_mst_approx. Malformed
 // input yields kInvalidInput, mutually unreachable terminals kInfeasible,
 // and an expired util::RunBudget the budget's own reason (kCancelled /
-// kDeadlineExceeded / kResourceExhausted). The budget is polled in the
-// per-terminal SSSP fan-out (workers drain between sources) and once per
-// closure-MST round; one work unit is charged per shortest-path source. A
-// run that completes under an unexpired budget is bit-identical to
-// steiner_mst_approx.
+// kDeadlineExceeded / kResourceExhausted). One work unit is charged per
+// shortest-path source under kClosureKmb (the budget is polled in the
+// fan-out, workers draining between sources, and once per closure-MST
+// round); kVoronoi charges a single unit for its one multi-source sweep
+// and is polled between pipeline phases. A run that completes under an
+// unexpired budget is bit-identical to steiner_mst_approx.
 util::Result<SteinerTree> try_steiner_mst_approx(
     const graph::Graph& g, const std::vector<double>& edge_weight,
     std::vector<graph::NodeId> terminals, int threads = 0,
-    const util::RunBudget& budget = {});
+    const util::RunBudget& budget = {}, Engine engine = Engine::kClosureKmb);
+
+// Repeatedly removes edges hanging off non-terminal leaves until every
+// leaf of the forest is a terminal; returns the surviving edges sorted
+// ascending. Shared tail of both approximation engines. Runs in
+// O(V + |tree_edges|) via a degree-decrement worklist, so long dangling
+// paths are pruned in linear time. Exposed for tests.
+std::vector<graph::EdgeId> prune_non_terminal_leaves(
+    const graph::Graph& g, std::vector<graph::EdgeId> tree_edges,
+    const std::vector<char>& is_terminal);
 
 // Exact minimum Steiner tree cost via the Dreyfus–Wagner dynamic program.
 // Complexity O(3^t · n + 2^t · n²); keep |terminals| small (≤ ~12).

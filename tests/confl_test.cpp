@@ -132,6 +132,34 @@ TEST(ConflTest, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.total(), b.total());
 }
 
+// Pins the two growth loops (active-set solve_confl and the dense
+// reference) to the exact same per-round time advances in both growth
+// modes. The event-driven deltas flow through one shared
+// facility_event_delta helper plus the tightness event heap; any drift
+// between the engines' FP expressions shows up here as a bitwise diff.
+TEST(ConflTest, GrowthTraceIdenticalAcrossEnginesInBothModes) {
+  const Graph g = graph::make_grid(5, 5);
+  ConflInstance instance =
+      make_instance(g, 12, std::vector<double>(25, 6.0));
+  for (GrowthMode mode : {GrowthMode::kFixedStep, GrowthMode::kEventDriven}) {
+    SCOPED_TRACE(mode == GrowthMode::kEventDriven ? "event" : "fixed");
+    ConflOptions options;
+    options.growth = mode;
+    std::vector<double> fast_trace;
+    std::vector<double> ref_trace;
+    options.growth_trace = &fast_trace;
+    const ConflSolution fast = solve_confl(instance, options);
+    options.growth_trace = &ref_trace;
+    const ConflSolution ref = solve_confl_reference(instance, options);
+    EXPECT_EQ(fast.rounds, ref.rounds);
+    EXPECT_FALSE(fast_trace.empty());
+    ASSERT_EQ(fast_trace.size(), ref_trace.size());
+    for (std::size_t r = 0; r < fast_trace.size(); ++r) {
+      EXPECT_EQ(fast_trace[r], ref_trace[r]) << "round " << r;  // bitwise
+    }
+  }
+}
+
 TEST(ConflTest, ExpensiveFacilitiesOpenLess) {
   const Graph g = graph::make_grid(5, 5);
   ConflInstance cheap =

@@ -189,6 +189,34 @@ TEST(DijkstraEdgeWeightsTest, SettleOnlyMatchesFullRunOnFlaggedNodes) {
   }
 }
 
+TEST(DijkstraEdgeWeightsTest, SettleOnlyTerminatesWhenFlaggedUnreachable) {
+  // Two components plus an isolated node: flagged nodes 5 and 7 can never
+  // be settled from the source's component, so the settle-only countdown
+  // never reaches zero. The run must still terminate (heap exhaustion),
+  // with full-run-identical results for the reachable flagged node and
+  // kInfCost / no parent for the unreachable ones.
+  Graph g(8);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  std::vector<double> weight(static_cast<std::size_t>(g.num_edges()), 1.5);
+  std::vector<char> flags(static_cast<std::size_t>(g.num_nodes()), 0);
+  flags[2] = flags[5] = flags[7] = 1;
+
+  const auto full = graph::dijkstra_edge_weights(g, 0, weight);
+  const auto part = graph::dijkstra_edge_weights(g, 0, weight, &flags);
+  EXPECT_EQ(part.cost[2], full.cost[2]);  // bitwise
+  EXPECT_EQ(part.parent[2], full.parent[2]);
+  EXPECT_EQ(part.parent_edge[2], full.parent_edge[2]);
+  for (const std::size_t v : {std::size_t{5}, std::size_t{7}}) {
+    EXPECT_EQ(part.cost[v], kInf);
+    EXPECT_EQ(part.parent[v], graph::kInvalidNode);
+    EXPECT_EQ(part.parent_edge[v], graph::EdgeId{-1});
+  }
+}
+
 TEST(DijkstraEdgeWeightsTest, CsrAndSlotWeightsDoNotChangeResult) {
   util::Rng rng(5);
   const auto net = random_net(50, rng);
@@ -312,6 +340,10 @@ TEST(SolveConflEquivalenceTest, ActiveSetMatchesReferenceOnRandomInstances) {
     if (options.growth == confl::GrowthMode::kFixedStep) {
       options.alpha_step = rng.bernoulli(0.5) ? 1.0 : 0.25;
     }
+    // The equivalence contract holds under either Steiner engine (both
+    // solvers call the same Phase 2 with the same options).
+    options.steiner_engine = trial % 2 == 0 ? steiner::Engine::kClosureKmb
+                                            : steiner::Engine::kVoronoi;
     SCOPED_TRACE("trial " + std::to_string(trial));
     const confl::ConflSolution fast = confl::solve_confl(instance, options);
     const confl::ConflSolution ref =
@@ -341,6 +373,33 @@ TEST(SolveConflEquivalenceTest, ThreadCountDoesNotChangeSolution) {
   const confl::ConflSolution eight = confl::solve_confl(instance, options);
   expect_identical_solutions(serial, two);
   expect_identical_solutions(serial, eight);
+}
+
+// The same contract under the Voronoi Steiner engine: it may select a
+// different (equally valid) Phase 2 tree than KMB, but that tree must be
+// identical at every thread count and across both solver engines.
+TEST(SolveConflEquivalenceTest, VoronoiEngineThreadInvariantAndMatchesRef) {
+  const Graph g = graph::make_grid(10, 10);
+  core::FairCachingProblem problem;
+  problem.network = &g;
+  problem.producer = 0;
+  problem.num_chunks = 1;
+  problem.uniform_capacity = 5;
+  const metrics::CacheState state(g.num_nodes(), 5, 0);
+  const confl::ConflInstance instance =
+      core::build_chunk_instance(problem, state, core::InstanceOptions{});
+
+  confl::ConflOptions options;
+  options.growth = confl::GrowthMode::kEventDriven;
+  options.steiner_engine = steiner::Engine::kVoronoi;
+  options.threads = 1;
+  const confl::ConflSolution serial = confl::solve_confl(instance, options);
+  options.threads = 8;
+  const confl::ConflSolution eight = confl::solve_confl(instance, options);
+  expect_identical_solutions(serial, eight);
+  const confl::ConflSolution ref =
+      confl::solve_confl_reference(instance, options);
+  expect_identical_solutions(serial, ref);
 }
 
 // End-to-end: the full approximation pipeline is bit-deterministic across
@@ -429,6 +488,28 @@ TEST(SteinerTest, ThreadCountDoesNotChangeTree) {
   const auto parallel = steiner::steiner_mst_approx(g, weight, terminals, 8);
   EXPECT_EQ(serial.edges, parallel.edges);
   EXPECT_EQ(serial.cost, parallel.cost);  // bitwise
+}
+
+TEST(SteinerTest, VoronoiEngineThreadCountDoesNotChangeTree) {
+  // The Voronoi sweep itself is serial, but the engine must honour the
+  // same end-to-end thread-invariance contract as KMB.
+  util::Rng rng(99);
+  const auto net = random_net(80, rng);
+  const Graph& g = net.graph;
+  std::vector<double> weight(static_cast<std::size_t>(g.num_edges()));
+  for (double& w : weight) w = rng.uniform(0.2, 3.0);
+  std::vector<NodeId> terminals;
+  for (NodeId v = 0; v < g.num_nodes(); v += 5) terminals.push_back(v);
+
+  const auto serial = steiner::steiner_mst_approx(
+      g, weight, terminals, 1, steiner::Engine::kVoronoi);
+  const auto parallel = steiner::steiner_mst_approx(
+      g, weight, terminals, 8, steiner::Engine::kVoronoi);
+  EXPECT_EQ(serial.edges, parallel.edges);
+  EXPECT_EQ(serial.cost, parallel.cost);  // bitwise
+  // Never worse than twice the KMB tree (both ≤ 2·OPT, and KMB ≥ OPT).
+  const auto kmb = steiner::steiner_mst_approx(g, weight, terminals);
+  EXPECT_LE(serial.cost, 2.0 * kmb.cost + 1e-9);
 }
 
 }  // namespace

@@ -1,10 +1,13 @@
-// Unit + property tests for Steiner tree construction: the KMB
-// 2-approximation against the exact Dreyfus–Wagner oracle.
+// Unit + property tests for Steiner tree construction: the KMB and
+// Voronoi-partition 2-approximation engines against the exact
+// Dreyfus–Wagner oracle, plus the shared leaf-prune helper.
 
 #include "steiner/steiner.h"
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <set>
 
 #include "graph/generators.h"
@@ -99,6 +102,113 @@ TEST(SteinerApproxTest, DisconnectedTerminalsRejected) {
   EXPECT_THROW(
       steiner_mst_approx(g, unit_weights(g), {0, 3}),
       util::CheckError);
+  EXPECT_THROW(
+      steiner_mst_approx(g, unit_weights(g), {0, 3}, 0, Engine::kVoronoi),
+      util::CheckError);
+}
+
+// ------------------------------------------------ Voronoi engine fixtures --
+
+TEST(SteinerVoronoiTest, MatchesKnownGridCosts) {
+  const Graph g = make_grid(3, 3);
+  const auto w = unit_weights(g);
+  EXPECT_TRUE(
+      steiner_mst_approx(g, w, {4}, 0, Engine::kVoronoi).edges.empty());
+  EXPECT_DOUBLE_EQ(
+      steiner_mst_approx(g, w, {0, 8}, 0, Engine::kVoronoi).cost, 4.0);
+  EXPECT_DOUBLE_EQ(
+      steiner_mst_approx(g, w, {0, 8, 0, 8}, 0, Engine::kVoronoi).cost, 4.0);
+  const auto corners =
+      steiner_mst_approx(g, w, {0, 2, 6, 8}, 0, Engine::kVoronoi);
+  expect_valid_tree(g, corners, {0, 2, 6, 8});
+  EXPECT_GE(corners.cost, 6.0 - 1e-9);
+  EXPECT_LE(corners.cost, 2.0 * 6.0 + 1e-9);
+}
+
+// Pinned deterministic outputs: the Voronoi engine's tie-breaking is part
+// of its determinism contract, so these exact edge sets are golden. Any
+// change here is a behaviour change for every kVoronoi consumer, not a
+// refactor.
+TEST(SteinerVoronoiTest, PinnedDeterministicOutputs) {
+  {
+    const Graph g = make_grid(3, 3);
+    const auto tree = steiner_mst_approx(g, unit_weights(g), {0, 2, 6, 8}, 0,
+                                         Engine::kVoronoi);
+    EXPECT_EQ(tree.edges, (std::vector<EdgeId>{0, 1, 2, 4, 6, 9}));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(tree.cost),
+              0x4018000000000000ULL);  // 6.0
+  }
+  {
+    util::Rng rng(7);
+    const Graph g = make_grid(4, 4);
+    std::vector<double> w(static_cast<std::size_t>(g.num_edges()));
+    for (auto& x : w) x = rng.uniform(0.5, 4.0);
+    const auto tree =
+        steiner_mst_approx(g, w, {0, 5, 10, 15}, 0, Engine::kVoronoi);
+    EXPECT_EQ(tree.edges, (std::vector<EdgeId>{1, 7, 10, 16, 18, 20}));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(tree.cost),
+              0x40209072dc3aa384ULL);  // 8.2821263143139348
+  }
+}
+
+// The Voronoi tree never costs more than twice the KMB tree: both are
+// ≤ 2·OPT and KMB ≥ OPT. (The CI engine-smoke harness enforces the same
+// bound on its fixture set.)
+TEST(SteinerVoronoiTest, WithinTwiceKmbOnRandomInstances) {
+  util::Rng rng(314);
+  for (int trial = 0; trial < 10; ++trial) {
+    graph::RandomGeometricConfig config;
+    config.num_nodes = static_cast<int>(rng.uniform_int(12, 60));
+    config.radius = 0.35;
+    const auto net = graph::make_random_geometric(config, rng);
+    std::vector<double> w(static_cast<std::size_t>(net.graph.num_edges()));
+    for (auto& x : w) x = rng.uniform(0.5, 4.0);
+    std::vector<NodeId> terminals;
+    for (NodeId v = 0; v < net.graph.num_nodes(); v += 4) {
+      terminals.push_back(v);
+    }
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const auto kmb = steiner_mst_approx(net.graph, w, terminals);
+    const auto vor =
+        steiner_mst_approx(net.graph, w, terminals, 0, Engine::kVoronoi);
+    expect_valid_tree(net.graph, vor, terminals);
+    EXPECT_LE(vor.cost, 2.0 * kmb.cost + 1e-9);
+  }
+}
+
+// ------------------------------------------------------------ leaf prune --
+
+TEST(PruneTest, KeepsTerminalLeavesDropsDanglingBranch) {
+  // Y-shaped tree centred at 1: branches to terminals 0 and 2, plus a
+  // dangling non-terminal path 1-3-4. Only the dangling branch goes.
+  Graph g(5);
+  const EdgeId e01 = g.add_edge(0, 1);
+  const EdgeId e12 = g.add_edge(1, 2);
+  const EdgeId e13 = g.add_edge(1, 3);
+  const EdgeId e34 = g.add_edge(3, 4);
+  std::vector<char> is_terminal(5, 0);
+  is_terminal[0] = is_terminal[2] = 1;
+  const auto kept = prune_non_terminal_leaves(
+      g, {e01, e12, e13, e34}, is_terminal);
+  EXPECT_EQ(kept, (std::vector<EdgeId>{e01, e12}));
+}
+
+// Regression: the old prune loop rebuilt the full O(V) degree array every
+// pass and removed one leaf edge per pass on a path, going quadratic. A
+// 200k-edge dangling path must prune in linear time (the quadratic loop
+// would need ~2·10¹⁰ operations here).
+TEST(PruneTest, LongDanglingPathPrunesInLinearTime) {
+  const int n = 200000;
+  Graph g(n);
+  std::vector<EdgeId> path_edges;
+  path_edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    path_edges.push_back(g.add_edge(v, v + 1));
+  }
+  std::vector<char> is_terminal(static_cast<std::size_t>(n), 0);
+  is_terminal[0] = 1;  // the whole path dangles off the lone terminal
+  const auto kept = prune_non_terminal_leaves(g, path_edges, is_terminal);
+  EXPECT_TRUE(kept.empty());
 }
 
 TEST(SteinerExactTest, MatchesKnownGridInstances) {
@@ -116,6 +226,23 @@ TEST(SteinerExactTest, StarCenterIsFreeSteinerPoint) {
   const Graph g = graph::make_star(5);
   const auto w = unit_weights(g);
   EXPECT_DOUBLE_EQ(steiner_exact_dreyfus_wagner(g, w, {1, 2, 3}), 3.0);
+}
+
+// Pinned bitwise fixture for the flat-storage (util::Matrix) port of the
+// Dreyfus–Wagner dp: the exact cost on this instance must stay bit-for-bit
+// what the nested-vector implementation produced.
+TEST(SteinerExactTest, MatrixPortIsBitIdenticalOnPinnedFixture) {
+  util::Rng rng(4242);
+  graph::RandomGeometricConfig config;
+  config.num_nodes = 18;
+  config.radius = 0.4;
+  const auto net = graph::make_random_geometric(config, rng);
+  std::vector<double> w(static_cast<std::size_t>(net.graph.num_edges()));
+  for (auto& x : w) x = rng.uniform(0.5, 4.0);
+  const double cost =
+      steiner_exact_dreyfus_wagner(net.graph, w, {0, 3, 7, 11, 15});
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(cost),
+            0x4030996916345097ULL);  // 16.599259746334237
 }
 
 // Property sweep: on random weighted graphs, approx is within 2× of exact
@@ -140,13 +267,16 @@ TEST_P(SteinerRatioTest, ApproxWithinTwiceExact) {
   rng.shuffle(all);
   std::vector<NodeId> terminals(all.begin(), all.begin() + k);
 
-  const auto approx = steiner_mst_approx(net.graph, w, terminals);
   const double exact =
       steiner_exact_dreyfus_wagner(net.graph, w, terminals);
-
-  expect_valid_tree(net.graph, approx, terminals);
-  EXPECT_GE(approx.cost, exact - 1e-6);
-  EXPECT_LE(approx.cost, 2.0 * exact + 1e-6);
+  for (Engine engine : {Engine::kClosureKmb, Engine::kVoronoi}) {
+    SCOPED_TRACE(engine == Engine::kVoronoi ? "kVoronoi" : "kClosureKmb");
+    const auto approx =
+        steiner_mst_approx(net.graph, w, terminals, 0, engine);
+    expect_valid_tree(net.graph, approx, terminals);
+    EXPECT_GE(approx.cost, exact - 1e-6);
+    EXPECT_LE(approx.cost, 2.0 * exact + 1e-6);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, SteinerRatioTest,
