@@ -1,15 +1,20 @@
-// Solver-core microbenchmarks (google-benchmark): the three hot stages of
-// the approximation pipeline on the paper's grid topology, at n = 100, 400,
+// Solver-core microbenchmarks (google-benchmark): the hot stages of the
+// approximation pipeline on the paper's grid topology, at n = 100, 400,
 // 900 and 1600 nodes.
 //
 //   * ContentionBuild — dense c_ij matrix (n BFS accumulations)
 //   * SolveConfl      — one primal–dual ConFL solve on a built instance
-//   * ApproxRun       — ApproxFairCaching end to end, Q = 5 chunks
+//   * BuildInstance*  — the full Q = 5 per-chunk instance-build sequence
+//                       (replayed cache states), rebuild vs incremental
+//   * ApproxRun*      — ApproxFairCaching end to end, Q = 5 chunks, under
+//                       the default engines and the reference fallbacks
 //
 // Run `bench/run_benches.sh` to produce BENCH_solver_core.json at the repo
 // root; docs/PERF.md records the before/after numbers for this PR.
 
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "confl/confl.h"
 #include "core/approx.h"
@@ -20,6 +25,15 @@
 namespace {
 
 using namespace faircache;
+
+core::FairCachingProblem grid_problem(const graph::Graph& g, int chunks) {
+  core::FairCachingProblem problem;
+  problem.network = &g;
+  problem.producer = 0;
+  problem.num_chunks = chunks;
+  problem.uniform_capacity = 5;
+  return problem;
+}
 
 void BM_ContentionBuild(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
@@ -35,11 +49,7 @@ void BM_ContentionBuild(benchmark::State& state) {
 void BM_SolveConfl(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
   const graph::Graph g = graph::make_grid(side, side);
-  core::FairCachingProblem problem;
-  problem.network = &g;
-  problem.producer = 0;
-  problem.num_chunks = 1;
-  problem.uniform_capacity = 5;
+  const core::FairCachingProblem problem = grid_problem(g, 1);
   const metrics::CacheState cache(g.num_nodes(), 5, /*producer=*/0);
   const confl::ConflInstance instance =
       core::build_chunk_instance(problem, cache, core::InstanceOptions{});
@@ -50,14 +60,58 @@ void BM_SolveConfl(benchmark::State& state) {
   state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
 }
 
+// The build phase in isolation: replay the exact Q = 5 cache-state
+// sequence a default run produces, timing only the per-chunk instance
+// builds of the selected contention engine (the incremental engine is
+// reconstructed every iteration, so its chunk-0 tree pinning is charged —
+// what one full run pays).
+void BM_BuildInstance(benchmark::State& state, core::ContentionMode mode) {
+  const int side = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::make_grid(side, side);
+  const core::FairCachingProblem problem = grid_problem(g, 5);
+
+  // Replay material: the state before each chunk's build.
+  std::vector<metrics::CacheState> states;
+  {
+    const core::FairCachingResult run =
+        core::ApproxFairCaching().run(problem);
+    metrics::CacheState s = problem.make_initial_state();
+    for (const core::ChunkPlacement& placement : run.placements) {
+      states.push_back(s);
+      for (graph::NodeId v : placement.cache_nodes) {
+        s.add(v, placement.chunk);
+      }
+    }
+  }
+
+  core::InstanceOptions options;
+  options.contention_mode = mode;
+  for (auto _ : state) {
+    core::ChunkInstanceEngine engine(problem, options);
+    for (std::size_t chunk = 0; chunk < states.size(); ++chunk) {
+      util::Result<confl::ConflInstance> instance = engine.build(
+          states[chunk], static_cast<metrics::ChunkId>(chunk));
+      benchmark::DoNotOptimize(instance.value().assign_cost.data());
+      engine.reclaim(std::move(instance).value());
+    }
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " nodes, Q=5");
+}
+
+void BM_BuildInstanceRebuild(benchmark::State& state) {
+  BM_BuildInstance(state, core::ContentionMode::kRebuild);
+}
+
+void BM_BuildInstanceIncremental(benchmark::State& state) {
+  BM_BuildInstance(state, core::ContentionMode::kIncremental);
+}
+
+// End to end under the current defaults: kVoronoi Steiner engine +
+// kIncremental contention updates.
 void BM_ApproxRun(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
   const graph::Graph g = graph::make_grid(side, side);
-  core::FairCachingProblem problem;
-  problem.network = &g;
-  problem.producer = 0;
-  problem.num_chunks = 5;
-  problem.uniform_capacity = 5;
+  const core::FairCachingProblem problem = grid_problem(g, 5);
   for (auto _ : state) {
     core::ApproxFairCaching appx;
     benchmark::DoNotOptimize(appx.run(problem));
@@ -65,19 +119,31 @@ void BM_ApproxRun(benchmark::State& state) {
   state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
 }
 
-// Same end-to-end run with the Voronoi Steiner engine: Phase 2 does one
-// multi-source sweep instead of |A|+1 single-source runs. Compare against
-// BM_ApproxRun at the same Arg for the engine speedup.
-void BM_ApproxRunVoronoi(benchmark::State& state) {
+// Reference contention engine (per-chunk rebuild), default Steiner engine —
+// the PR-4 BM_ApproxRunVoronoi configuration; compare against BM_ApproxRun
+// for the incremental-engine speedup.
+void BM_ApproxRunRebuild(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
   const graph::Graph g = graph::make_grid(side, side);
-  core::FairCachingProblem problem;
-  problem.network = &g;
-  problem.producer = 0;
-  problem.num_chunks = 5;
-  problem.uniform_capacity = 5;
+  const core::FairCachingProblem problem = grid_problem(g, 5);
   core::ApproxConfig config;
-  config.confl.steiner_engine = steiner::Engine::kVoronoi;
+  config.instance.contention_mode = core::ContentionMode::kRebuild;
+  for (auto _ : state) {
+    core::ApproxFairCaching appx(config);
+    benchmark::DoNotOptimize(appx.run(problem));
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
+}
+
+// Both reference engines (KMB Steiner + per-chunk rebuild) — the PR-4
+// BM_ApproxRun configuration, kept for longitudinal comparison.
+void BM_ApproxRunKmbRebuild(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::make_grid(side, side);
+  const core::FairCachingProblem problem = grid_problem(g, 5);
+  core::ApproxConfig config;
+  config.confl.steiner_engine = steiner::Engine::kClosureKmb;
+  config.instance.contention_mode = core::ContentionMode::kRebuild;
   for (auto _ : state) {
     core::ApproxFairCaching appx(config);
     benchmark::DoNotOptimize(appx.run(problem));
@@ -89,9 +155,15 @@ BENCHMARK(BM_ContentionBuild)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SolveConfl)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildInstanceRebuild)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildInstanceIncremental)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ApproxRun)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ApproxRunVoronoi)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+BENCHMARK(BM_ApproxRunRebuild)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApproxRunKmbRebuild)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

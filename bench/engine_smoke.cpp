@@ -1,22 +1,33 @@
-// CI smoke harness for the two Steiner engines (run by the Release
-// bench-smoke job): on a fixture set of grid and random-geometric
-// instances, both engines must
+// CI smoke harness for the solver engines (run by the Release bench-smoke
+// job). Two layers of checks over a fixture set of grid and
+// random-geometric instances:
 //
-//   1. be deterministic across thread counts — the FNV-1a hash of the
+// Steiner engines (kClosureKmb vs kVoronoi):
+//   1. deterministic across thread counts — the FNV-1a hash of the
 //      (edges, cost-bits) stream must be identical at 1, 2 and 8 threads;
-//   2. respect the documented cross-engine bound — the Voronoi tree may
-//      cost at most twice the KMB tree (both are ≤ 2·OPT and KMB ≥ OPT,
-//      see docs/PERF.md), and neither engine may beat the other by a
-//      factor that would indicate a broken construction.
+//   2. the documented cross-engine bound — the Voronoi tree may cost at
+//      most twice the KMB tree (both are ≤ 2·OPT and KMB ≥ OPT, see
+//      docs/PERF.md), and neither engine may beat the other by a factor
+//      that would indicate a broken construction.
+//
+// End-to-end ApproxFairCaching runs over every (Steiner engine ×
+// contention mode) combination:
+//   3. each combination's placement/objective hash is identical at 1, 2
+//      and 8 threads;
+//   4. kIncremental and kRebuild agree — identical placement hashes and
+//      per-chunk objectives within 1e-9 (they are in fact bit-identical
+//      on these integer-weight instances) for each Steiner engine.
 //
 // Exits non-zero on any violation, printing the offending fixture.
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "core/approx.h"
 #include "graph/generators.h"
 #include "steiner/steiner.h"
 #include "util/rng.h"
@@ -92,6 +103,95 @@ std::vector<Fixture> make_fixtures() {
   return fixtures;
 }
 
+// Placement + objective probe of one end-to-end run: hashes every chunk's
+// cache-node ids and the bit pattern of its solver objective.
+std::uint64_t run_hash(const core::FairCachingResult& result) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const core::ChunkPlacement& placement : result.placements) {
+    for (NodeId v : placement.cache_nodes) {
+      h = fnv1a(h, static_cast<std::uint64_t>(v));
+    }
+    h = fnv1a(h, std::bit_cast<std::uint64_t>(placement.solver_objective));
+  }
+  return h;
+}
+
+// End-to-end checks 3 and 4: thread-determinism of every (engine, mode)
+// combination, and cross-mode agreement per engine. Returns the number of
+// failures.
+int check_end_to_end(const Fixture& f) {
+  int failures = 0;
+  core::FairCachingProblem problem;
+  problem.network = &f.graph;
+  problem.producer = 0;
+  problem.num_chunks = 3;
+  problem.uniform_capacity = 5;
+
+  const steiner::Engine engines[2] = {steiner::Engine::kClosureKmb,
+                                      steiner::Engine::kVoronoi};
+  const char* engine_name[2] = {"kClosureKmb", "kVoronoi"};
+  const core::ContentionMode modes[2] = {core::ContentionMode::kRebuild,
+                                         core::ContentionMode::kIncremental};
+  const char* mode_name[2] = {"kRebuild", "kIncremental"};
+
+  for (int e = 0; e < 2; ++e) {
+    std::uint64_t mode_hash[2] = {0, 0};
+    core::FairCachingResult mode_result[2];
+    for (int m = 0; m < 2; ++m) {
+      std::uint64_t hash1 = 0;
+      for (const int threads : {1, 2, 8}) {
+        core::ApproxConfig config;
+        config.confl.steiner_engine = engines[e];
+        config.confl.threads = threads;
+        config.instance.contention_mode = modes[m];
+        config.instance.threads = threads;
+        core::FairCachingResult result =
+            core::ApproxFairCaching(config).run(problem);
+        const std::uint64_t h = run_hash(result);
+        if (threads == 1) {
+          hash1 = h;
+          mode_result[m] = std::move(result);
+        } else if (h != hash1) {
+          std::printf("FAIL %s appx %s %s: hash diverges at %d threads "
+                      "(%016llx vs %016llx)\n",
+                      f.name.c_str(), engine_name[e], mode_name[m], threads,
+                      static_cast<unsigned long long>(h),
+                      static_cast<unsigned long long>(hash1));
+          ++failures;
+        }
+      }
+      mode_hash[m] = hash1;
+      std::printf("%-18s appx %-11s %-12s hash=%016llx\n", f.name.c_str(),
+                  engine_name[e], mode_name[m],
+                  static_cast<unsigned long long>(hash1));
+    }
+    // Cross-mode agreement: same placements, per-chunk objectives within
+    // 1e-9 (the contention engines are bit-identical on integer weights,
+    // so in practice the hashes — objective bits included — match).
+    if (mode_hash[0] != mode_hash[1]) {
+      std::printf("FAIL %s appx %s: contention modes disagree "
+                  "(%016llx vs %016llx)\n",
+                  f.name.c_str(), engine_name[e],
+                  static_cast<unsigned long long>(mode_hash[0]),
+                  static_cast<unsigned long long>(mode_hash[1]));
+      ++failures;
+    }
+    for (std::size_t c = 0; c < mode_result[0].placements.size() &&
+                            c < mode_result[1].placements.size();
+         ++c) {
+      const double a = mode_result[0].placements[c].solver_objective;
+      const double b = mode_result[1].placements[c].solver_objective;
+      if (std::abs(a - b) > 1e-9) {
+        std::printf("FAIL %s appx %s chunk %zu: objectives diverge "
+                    "(%.12f vs %.12f)\n",
+                    f.name.c_str(), engine_name[e], c, a, b);
+        ++failures;
+      }
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main() {
@@ -135,6 +235,7 @@ int main() {
                   f.name.c_str(), kmb, vor);
       ++failures;
     }
+    failures += check_end_to_end(f);
   }
   if (failures != 0) {
     std::printf("engine_smoke: %d failure(s)\n", failures);

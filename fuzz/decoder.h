@@ -70,8 +70,8 @@ inline void decode_problem(const std::uint8_t* data, std::size_t size,
   }
 
   // Solver options: positive steps, small span thresholds, both growth
-  // modes, both Steiner engines. Single-threaded — fuzz iterations must
-  // stay cheap.
+  // modes, both Steiner engines, both contention modes. Single-threaded —
+  // fuzz iterations must stay cheap.
   const std::uint8_t opt = in.u8();
   out.config.confl.growth = (opt & 0x1) != 0
                                 ? confl::GrowthMode::kEventDriven
@@ -81,7 +81,14 @@ inline void decode_problem(const std::uint8_t* data, std::size_t size,
   out.config.confl.steiner_engine = (opt & 0x80) != 0
                                         ? steiner::Engine::kVoronoi
                                         : steiner::Engine::kClosureKmb;
-  out.config.confl.span_threshold = 1 + in.u8() % 4;
+  // The span byte's low bits pick the threshold; its high bit selects the
+  // contention engine, so fuzz_solve drives both the per-chunk rebuild and
+  // the incremental delta-update paths.
+  const std::uint8_t span_byte = in.u8();
+  out.config.confl.span_threshold = 1 + span_byte % 4;
+  out.config.instance.contention_mode =
+      (span_byte & 0x80) != 0 ? core::ContentionMode::kRebuild
+                              : core::ContentionMode::kIncremental;
   out.config.confl.threads = 1;
   out.config.instance.threads = 1;
 

@@ -86,13 +86,17 @@ struct ConflOptions {
   // default, 1 = fully serial. The solution is bit-identical at any
   // setting; threading never changes the dual-growth arithmetic.
   int threads = 0;
-  // Engine used for the Phase 2 Steiner tree. The default keeps golden
-  // outputs pinned to the historical KMB construction; kVoronoi builds an
-  // equally valid 2-approximate tree from one multi-source sweep
-  // (asymptotically |A|× cheaper) and is itself deterministic and
-  // thread-invariant, but may select a different tree — switching engines
-  // changes which solution is produced, not its quality guarantee.
-  steiner::Engine steiner_engine = steiner::Engine::kClosureKmb;
+  // Engine used for the Phase 2 Steiner tree. The default kVoronoi builds
+  // the 2-approximate tree from one multi-source sweep (asymptotically
+  // |A|× cheaper than KMB) and is deterministic and thread-invariant; its
+  // outputs are pinned by their own golden fixtures. kClosureKmb is the
+  // historical per-terminal-SSSP construction, bit-identical to the
+  // pre-flip golden outputs. Both are 2-approximations but may select
+  // different trees — switching engines changes which solution is
+  // produced, not its quality guarantee. Note only the dissemination tree
+  // differs: the open facilities and assignments of a ConFL solve are
+  // engine-independent (Phase 1 never consults the engine).
+  steiner::Engine steiner_engine = steiner::Engine::kVoronoi;
   // Test/diagnostic hook: when non-null, every growth round's time advance
   // (the per-round delta; alpha_step in fixed-step mode) is appended. Used
   // to pin the active-set and reference growth loops to identical event

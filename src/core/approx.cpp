@@ -1,8 +1,8 @@
 #include "core/approx.h"
 
 #include <algorithm>
-#include <queue>
 
+#include "graph/shortest_paths.h"
 #include "util/stopwatch.h"
 
 namespace faircache::core {
@@ -10,24 +10,6 @@ namespace faircache::core {
 namespace {
 
 using graph::NodeId;
-
-std::vector<int> bfs_hops(const graph::Graph& g, NodeId source) {
-  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
-  std::queue<NodeId> frontier;
-  dist[static_cast<std::size_t>(source)] = 0;
-  frontier.push(source);
-  while (!frontier.empty()) {
-    const NodeId v = frontier.front();
-    frontier.pop();
-    for (NodeId w : g.neighbors(v)) {
-      if (dist[static_cast<std::size_t>(w)] == -1) {
-        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
-        frontier.push(w);
-      }
-    }
-  }
-  return dist;
-}
 
 // Degraded-mode cache set for a chunk the ConFL solver never reached: the
 // greedy hop-count facility heuristic (the "Hopc" baseline's core move,
@@ -41,17 +23,21 @@ std::vector<int> bfs_hops(const graph::Graph& g, NodeId source) {
 // term alone always pays for a free node). Selection respects can_cache,
 // so later chunks spread onto nodes the earlier fallback chunks filled
 // up. Smallest-id tie-breaks keep it deterministic.
-std::vector<NodeId> greedy_fallback_set(
-    const std::vector<std::vector<int>>& hops,
-    const metrics::CacheState& state, metrics::ChunkId chunk,
-    NodeId producer) {
-  const std::size_t n = hops.size();
-  std::vector<int> nearest = hops[static_cast<std::size_t>(producer)];
+//
+// `hops` is graph::all_pairs_hops over the validated (connected) network,
+// so every entry is finite.
+std::vector<NodeId> greedy_fallback_set(const util::Matrix<int>& hops,
+                                        const metrics::CacheState& state,
+                                        metrics::ChunkId chunk,
+                                        NodeId producer) {
+  const std::size_t n = hops.rows();
+  const int* producer_row = hops[static_cast<std::size_t>(producer)];
+  std::vector<int> nearest(producer_row, producer_row + n);
   std::vector<char> chosen(n, 0);
   chosen[static_cast<std::size_t>(producer)] = 1;
   for (NodeId h : state.holders(chunk)) {
     chosen[static_cast<std::size_t>(h)] = 1;
-    const auto& row = hops[static_cast<std::size_t>(h)];
+    const int* row = hops[static_cast<std::size_t>(h)];
     for (std::size_t j = 0; j < n; ++j) {
       nearest[j] = std::min(nearest[j], row[j]);
     }
@@ -64,9 +50,10 @@ std::vector<NodeId> greedy_fallback_set(
       if (chosen[v] || !state.can_cache(static_cast<NodeId>(v), chunk)) {
         continue;
       }
+      const int* row = hops[v];
       long gain = -static_cast<long>(nearest[v]);  // dissemination penalty
       for (std::size_t j = 0; j < n; ++j) {
-        gain += std::max(0, nearest[j] - hops[v][j]);
+        gain += std::max(0, nearest[j] - row[j]);
       }
       if (gain > best_gain) {
         best_gain = gain;
@@ -76,7 +63,7 @@ std::vector<NodeId> greedy_fallback_set(
     if (best_v == graph::kInvalidNode) break;
     chosen[static_cast<std::size_t>(best_v)] = 1;
     set.push_back(best_v);
-    const auto& row = hops[static_cast<std::size_t>(best_v)];
+    const int* row = hops[static_cast<std::size_t>(best_v)];
     for (std::size_t j = 0; j < n; ++j) {
       nearest[j] = std::min(nearest[j], row[j]);
     }
@@ -113,13 +100,16 @@ util::Result<FairCachingResult> ApproxFairCaching::solve(
   result.state = problem.make_initial_state();
   rep.chunks_total = problem.num_chunks;
 
+  ChunkInstanceEngine engine(problem, config_.instance);
   metrics::ChunkId chunk = 0;
   for (; chunk < problem.num_chunks; ++chunk) {
     if (budget.expired()) break;
     util::Stopwatch phase;
-    // Lines 5–16: refresh f_i and c_ij from the current storage state.
-    util::Result<confl::ConflInstance> instance = try_build_chunk_instance(
-        problem, result.state, config_.instance, chunk);
+    // Lines 5–16: refresh f_i and c_ij from the current storage state —
+    // incrementally when the engine can delta-patch the previous chunk's
+    // buffers, from scratch otherwise.
+    util::Result<confl::ConflInstance> instance =
+        engine.build(result.state, chunk);
     rep.build_seconds += phase.elapsed_seconds();
     if (!instance.ok()) return instance.status();
 
@@ -134,6 +124,9 @@ util::Result<FairCachingResult> ApproxFairCaching::solve(
       if (budget.expired()) break;
       return solution.status();
     }
+    // The solver is done with the cost buffers: hand them back so the next
+    // chunk's build can patch them in place.
+    engine.reclaim(std::move(instance).value());
 
     ChunkPlacement placement;
     placement.chunk = chunk;
@@ -149,6 +142,8 @@ util::Result<FairCachingResult> ApproxFairCaching::solve(
     }
     result.placements.push_back(std::move(placement));
   }
+  rep.build_tree_seconds = engine.stats().tree_seconds;
+  rep.build_delta_seconds = engine.stats().delta_seconds;
 
   if (chunk < problem.num_chunks) {
     // Anytime degradation: the budget ran out with chunks left. Keep every
@@ -157,11 +152,8 @@ util::Result<FairCachingResult> ApproxFairCaching::solve(
     // insertion) and the report says exactly what happened.
     rep.stop_reason = budget.status("appx chunk loop");
     util::Stopwatch phase;
-    const auto n = static_cast<std::size_t>(problem.network->num_nodes());
-    std::vector<std::vector<int>> hops(n);
-    for (std::size_t v = 0; v < n; ++v) {
-      hops[v] = bfs_hops(*problem.network, static_cast<graph::NodeId>(v));
-    }
+    const util::Matrix<int> hops =
+        graph::all_pairs_hops(*problem.network, config_.instance.threads);
     for (; chunk < problem.num_chunks; ++chunk) {
       ChunkPlacement placement;
       placement.chunk = chunk;

@@ -24,10 +24,14 @@ namespace faircache::core {
 
 struct ApproxConfig {
   // Per-chunk ConFL solver knobs. `confl.steiner_engine` selects the
-  // Phase 2 tree construction: the default kClosureKmb keeps golden
-  // outputs pinned; kVoronoi gives the same 2-approximation from one
-  // multi-source sweep and is the fast choice on large networks.
+  // Phase 2 tree construction: the default kVoronoi builds the
+  // 2-approximate tree from one multi-source sweep (the fast choice at
+  // any size); kClosureKmb is the historical per-terminal-SSSP engine,
+  // bit-identical to the pre-PR-5 golden outputs.
   confl::ConflOptions confl;
+  // `instance.contention_mode` selects the per-chunk cost engine: the
+  // default kIncremental delta-patches pinned BFS trees between chunks;
+  // kRebuild reconstructs the contention matrix every chunk (reference).
   InstanceOptions instance;
 };
 
@@ -41,6 +45,12 @@ struct SolveReport {
   // ascending. Empty for a completed run.
   std::vector<metrics::ChunkId> degraded_chunks;
   double build_seconds = 0.0;     // per-chunk instance builds (lines 5–16)
+  // Split of the contention-cost share of build_seconds: full builds
+  // (pinning the BFS trees on chunk 0, and every kRebuild chunk) vs the
+  // sparse delta sweeps of kIncremental chunks after the first. Their sum
+  // is ≤ build_seconds (the remainder is fairness costs and plumbing).
+  double build_tree_seconds = 0.0;
+  double build_delta_seconds = 0.0;
   double solve_seconds = 0.0;     // ConFL solves (lines 17–47)
   double fallback_seconds = 0.0;  // greedy degraded-mode placement
   double total_seconds = 0.0;

@@ -1,6 +1,49 @@
 #include "core/instance_builder.h"
 
+#include <utility>
+
+#include "util/stopwatch.h"
+
 namespace faircache::core {
+
+namespace {
+
+util::Status validate_build_inputs(const FairCachingProblem& problem,
+                                   const metrics::CacheState& state,
+                                   const InstanceOptions& options,
+                                   metrics::ChunkId chunk) {
+  if (problem.network == nullptr) {
+    return util::Status::invalid_input("problem needs a network");
+  }
+  if (state.num_nodes() != problem.network->num_nodes()) {
+    return util::Status::invalid_input("state / network size mismatch");
+  }
+  if (options.demand != nullptr &&
+      (chunk < 0 ||
+       static_cast<std::size_t>(chunk) >= options.demand->size())) {
+    return util::Status::invalid_input("demand matrix missing chunk row");
+  }
+  return util::Status();  // OK
+}
+
+// Everything of the instance except the contention buffers.
+confl::ConflInstance instance_shell(const FairCachingProblem& problem,
+                                    const metrics::CacheState& state,
+                                    const InstanceOptions& options,
+                                    metrics::ChunkId chunk) {
+  confl::ConflInstance instance;
+  instance.network = problem.network;
+  instance.root = problem.producer;
+  instance.edge_scale = options.edge_scale;
+  instance.facility_cost = options.fairness.costs(state);
+  if (options.demand != nullptr) {
+    instance.client_weight =
+        (*options.demand)[static_cast<std::size_t>(chunk)];
+  }
+  return instance;
+}
+
+}  // namespace
 
 confl::ConflInstance build_chunk_instance(const FairCachingProblem& problem,
                                           const metrics::CacheState& state,
@@ -18,33 +61,64 @@ confl::ConflInstance build_chunk_instance(const FairCachingProblem& problem,
 util::Result<confl::ConflInstance> try_build_chunk_instance(
     const FairCachingProblem& problem, const metrics::CacheState& state,
     const InstanceOptions& options, metrics::ChunkId chunk) {
-  if (problem.network == nullptr) {
-    return util::Status::invalid_input("problem needs a network");
+  if (util::Status status =
+          validate_build_inputs(problem, state, options, chunk);
+      !status.ok()) {
+    return status;
   }
-  if (state.num_nodes() != problem.network->num_nodes()) {
-    return util::Status::invalid_input("state / network size mismatch");
-  }
-  if (options.demand != nullptr &&
-      (chunk < 0 ||
-       static_cast<std::size_t>(chunk) >= options.demand->size())) {
-    return util::Status::invalid_input("demand matrix missing chunk row");
-  }
-
-  confl::ConflInstance instance;
-  instance.network = problem.network;
-  instance.root = problem.producer;
-  instance.edge_scale = options.edge_scale;
-  instance.facility_cost = options.fairness.costs(state);
-
+  confl::ConflInstance instance =
+      instance_shell(problem, state, options, chunk);
   metrics::ContentionMatrix contention(*problem.network, state,
                                        options.path_policy, options.threads);
   instance.assign_cost = contention.take_matrix();
   instance.edge_cost = contention.take_edge_costs();
-  if (options.demand != nullptr) {
-    instance.client_weight =
-        (*options.demand)[static_cast<std::size_t>(chunk)];
+  return instance;
+}
+
+ChunkInstanceEngine::ChunkInstanceEngine(const FairCachingProblem& problem,
+                                         const InstanceOptions& options)
+    : problem_(&problem), options_(options) {
+  if (options_.contention_mode == ContentionMode::kIncremental &&
+      options_.path_policy == metrics::PathPolicy::kHopShortest &&
+      problem_->network != nullptr) {
+    updater_ = std::make_unique<metrics::ContentionUpdater>(
+        *problem_->network, options_.threads);
+  }
+}
+
+util::Result<confl::ConflInstance> ChunkInstanceEngine::build(
+    const metrics::CacheState& state, metrics::ChunkId chunk) {
+  if (util::Status status =
+          validate_build_inputs(*problem_, state, options_, chunk);
+      !status.ok()) {
+    return status;
+  }
+  confl::ConflInstance instance =
+      instance_shell(*problem_, state, options_, chunk);
+  if (updater_ != nullptr) {
+    const double tree_before = updater_->tree_build_seconds();
+    const double delta_before = updater_->delta_apply_seconds();
+    updater_->update(state);
+    stats_.tree_seconds += updater_->tree_build_seconds() - tree_before;
+    stats_.delta_seconds += updater_->delta_apply_seconds() - delta_before;
+    instance.assign_cost = updater_->take_matrix();
+    instance.edge_cost = updater_->take_edge_costs();
+  } else {
+    util::Stopwatch timer;
+    metrics::ContentionMatrix contention(*problem_->network, state,
+                                         options_.path_policy,
+                                         options_.threads);
+    instance.assign_cost = contention.take_matrix();
+    instance.edge_cost = contention.take_edge_costs();
+    stats_.tree_seconds += timer.elapsed_seconds();
   }
   return instance;
+}
+
+void ChunkInstanceEngine::reclaim(confl::ConflInstance&& instance) {
+  if (updater_ == nullptr) return;
+  updater_->restore(std::move(instance.assign_cost),
+                    std::move(instance.edge_cost));
 }
 
 }  // namespace faircache::core

@@ -5,13 +5,37 @@
 // contention edge costs for the dissemination tree — all read from the
 // *current* cache state, which is how Algorithm 1 couples consecutive
 // chunks (caching a chunk raises a node's f_i and its 1+S(k) factor).
+//
+// Two contention engines produce those costs. kRebuild constructs a fresh
+// metrics::ContentionMatrix per chunk — the stateless reference path.
+// kIncremental keeps a metrics::ContentionUpdater alive across the chunk
+// loop: BFS trees are pinned once and each later chunk only applies the
+// sparse weight deltas from the nodes the previous placement touched
+// (docs/PERF.md, "Incremental instance engine"). On the paper's
+// integer-valued contention weights both engines are bit-identical.
+
+#include <memory>
 
 #include "confl/confl.h"
 #include "core/problem.h"
+#include "metrics/contention_updater.h"
 #include "metrics/fairness.h"
 #include "util/status.h"
 
 namespace faircache::core {
+
+// How the per-chunk contention costs are produced across a chunk loop.
+enum class ContentionMode {
+  // Delta-patch a persistent ContentionUpdater (pinned BFS trees). The
+  // default: exact on integer-valued weights, and the full build phase of
+  // every chunk after the first drops from O(n·m) to one linear sweep.
+  // Applies only under PathPolicy::kHopShortest; kMinContention paths
+  // depend on the weights themselves and silently fall back to kRebuild.
+  kIncremental,
+  // Fresh ContentionMatrix per chunk — the reference engine, bit-identical
+  // to the historical per-chunk rebuild at any thread count.
+  kRebuild,
+};
 
 struct InstanceOptions {
   metrics::PathPolicy path_policy = metrics::PathPolicy::kHopShortest;
@@ -26,10 +50,23 @@ struct InstanceOptions {
   // weights clients by their demand for that chunk instead of the paper's
   // uniform "every node wants every chunk" model.
   const std::vector<std::vector<double>>* demand = nullptr;
+  // Contention engine used by ChunkInstanceEngine (and thus by
+  // ApproxFairCaching's chunk loop). The stateless
+  // try_build_chunk_instance below always rebuilds regardless.
+  ContentionMode contention_mode = ContentionMode::kIncremental;
+};
+
+// Where the contention-build time went, cumulative over an engine's life:
+// full builds (BFS trees + initial matrix, and every kRebuild chunk) vs
+// sparse delta sweeps (kIncremental chunks after the first).
+struct InstanceBuildStats {
+  double tree_seconds = 0.0;
+  double delta_seconds = 0.0;
 };
 
 // The returned instance borrows `problem.network`; it must outlive the
 // instance. `chunk` selects the demand row when `options.demand` is set.
+// Always uses the kRebuild engine (stateless, one-shot).
 confl::ConflInstance build_chunk_instance(const FairCachingProblem& problem,
                                           const metrics::CacheState& state,
                                           const InstanceOptions& options,
@@ -42,5 +79,41 @@ confl::ConflInstance build_chunk_instance(const FairCachingProblem& problem,
 util::Result<confl::ConflInstance> try_build_chunk_instance(
     const FairCachingProblem& problem, const metrics::CacheState& state,
     const InstanceOptions& options, metrics::ChunkId chunk = 0);
+
+// Stateful instance factory for a chunk loop over one problem. In
+// kIncremental mode the contention buffers and pinned BFS trees persist
+// between build() calls; hand each solved instance back via reclaim() so
+// the next build() can delta-patch the matrix the solver just used instead
+// of reconstructing it. Without reclaim() (or in kRebuild mode, or under
+// kMinContention) every build() is a full rebuild — still correct, just
+// slower. The problem's network must outlive the engine and must not
+// change topology while it is alive.
+class ChunkInstanceEngine {
+ public:
+  ChunkInstanceEngine(const FairCachingProblem& problem,
+                      const InstanceOptions& options);
+
+  // Same contract (validation, outputs) as try_build_chunk_instance on the
+  // same (problem, state, options, chunk).
+  util::Result<confl::ConflInstance> build(const metrics::CacheState& state,
+                                           metrics::ChunkId chunk);
+
+  // Returns the cost buffers of an instance produced by build() to the
+  // incremental engine. The instance is consumed. No-op outside
+  // kIncremental mode.
+  void reclaim(confl::ConflInstance&& instance);
+
+  // True when build() delta-patches (kIncremental and hop-shortest paths).
+  bool incremental() const { return updater_ != nullptr; }
+
+  const InstanceBuildStats& stats() const { return stats_; }
+
+ private:
+  const FairCachingProblem* problem_;
+  InstanceOptions options_;
+  // Non-null iff the incremental engine applies to `options_`.
+  std::unique_ptr<metrics::ContentionUpdater> updater_;
+  InstanceBuildStats stats_;
+};
 
 }  // namespace faircache::core

@@ -52,6 +52,18 @@ Graph make_complete(int n) {
   return g;
 }
 
+Graph make_erdos_renyi(int n, double p, util::Rng& rng) {
+  FAIRCACHE_CHECK(n >= 1, "need at least one node");
+  FAIRCACHE_CHECK(p >= 0.0 && p <= 1.0, "p must be in [0, 1]");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
 Graph make_watts_strogatz(int n, int k, double beta, util::Rng& rng) {
   FAIRCACHE_CHECK(n >= 3, "need at least 3 nodes");
   FAIRCACHE_CHECK(k >= 2 && k % 2 == 0 && k < n,

@@ -62,6 +62,12 @@ GeometricNetwork make_random_geometric(const RandomGeometricConfig& config,
 // disconnects it. k must be even, 2 ≤ k < n.
 Graph make_watts_strogatz(int n, int k, double beta, util::Rng& rng);
 
+// Erdős–Rényi G(n, p): each of the n(n−1)/2 possible edges is present
+// independently with probability p. NOT made connected — small p yields
+// disconnected graphs (and isolated nodes) on purpose; tests use this to
+// cover the unreachable-pair (infinite-cost) paths of the metrics layer.
+Graph make_erdos_renyi(int n, double p, util::Rng& rng);
+
 // Barabási–Albert preferential-attachment graph: starts from a clique of
 // m + 1 nodes; each new node attaches m edges to existing nodes with
 // probability proportional to their degree. Always connected. 1 ≤ m < n.

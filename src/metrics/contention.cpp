@@ -103,6 +103,19 @@ ContentionMatrix::ContentionMatrix(const graph::Graph& g,
   cost_.assign_no_init(n, n);
   threads = util::resolve_parallel_threads(threads, n);
 
+  // Per-worker running maxima, folded sequentially after the join — max is
+  // exact (no rounding), so the two-level reduction matches the old full
+  // matrix scan bit for bit at any thread count.
+  std::vector<double> worker_max(static_cast<std::size_t>(threads), 0.0);
+  const auto fold_row_max = [&worker_max](const double* row, std::size_t n,
+                                          int worker) {
+    double m = worker_max[static_cast<std::size_t>(worker)];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (row[j] != graph::kInfCost && row[j] > m) m = row[j];
+    }
+    worker_max[static_cast<std::size_t>(worker)] = m;
+  };
+
   if (policy == PathPolicy::kHopShortest) {
     const graph::CsrAdjacency adj = graph::build_csr(g);
     std::vector<HopRowScratch> scratch(static_cast<std::size_t>(threads));
@@ -112,16 +125,18 @@ ContentionMatrix::ContentionMatrix(const graph::Graph& g,
         [&](std::size_t i, int worker) {
           hop_shortest_row(adj, static_cast<graph::NodeId>(i), cost_[i],
                            scratch[static_cast<std::size_t>(worker)]);
+          fold_row_max(cost_[i], n, worker);
         },
         threads);
   } else {
     util::parallel_for(
         n,
-        [&](std::size_t i) {
+        [&](std::size_t i, int worker) {
           const auto paths =
               graph::dijkstra_node_weights(g, static_cast<graph::NodeId>(i),
                                            weight);
           std::copy(paths.cost.begin(), paths.cost.end(), cost_[i]);
+          fold_row_max(cost_[i], n, worker);
         },
         threads);
   }
@@ -136,10 +151,7 @@ ContentionMatrix::ContentionMatrix(const graph::Graph& g,
   }
 
   max_cost_ = 0.0;
-  for (const double* it = cost_.data(); it != cost_.data() + cost_.size();
-       ++it) {
-    if (*it != graph::kInfCost) max_cost_ = std::max(max_cost_, *it);
-  }
+  for (const double m : worker_max) max_cost_ = std::max(max_cost_, m);
 }
 
 }  // namespace faircache::metrics

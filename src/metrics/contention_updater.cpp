@@ -1,0 +1,296 @@
+#include "metrics/contention_updater.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/shortest_paths.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace faircache::metrics {
+
+using graph::NodeId;
+
+// Per-worker scratch reused across all rows a worker builds/patches.
+struct ContentionUpdater::Workspace {
+  struct NodeEntry {
+    double weight;
+    int stamp;
+  };
+  std::vector<NodeEntry> node;           // packed (weight, visit stamp)
+  std::vector<NodeId> order;             // BFS visit order (frontier)
+  std::vector<NodeId> parent;            // BFS parent of each visited node
+  std::vector<int> child_begin;          // children of v = order[cb[v], ce[v])
+  std::vector<int> child_end;
+  std::vector<int> size;                 // subtree size in the BFS tree
+  std::vector<double> diff;              // difference array over preorder
+  int generation = 0;
+
+  void init(const std::vector<double>& weight) {
+    const std::size_t n = weight.size();
+    node.resize(n);
+    for (std::size_t i = 0; i < n; ++i) node[i] = {weight[i], 0};
+    parent.resize(n);
+    child_begin.resize(n);
+    child_end.resize(n);
+    size.resize(n);
+    generation = 0;
+  }
+};
+
+namespace {
+
+double finite_row_max(const double* row, std::size_t n) {
+  double m = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double v = row[j];
+    if (v != graph::kInfCost && v > m) m = v;
+  }
+  return m;
+}
+
+}  // namespace
+
+// Row i with the exact arithmetic of ContentionMatrix's hop-shortest
+// builder (cost[j] = cost[parent] + w[j], parents processed before
+// children, ascending-id neighbour order), while additionally recording
+// the BFS tree: parent pointers and the contiguous child range of every
+// node inside the visit order.
+int ContentionUpdater::build_row_tree(NodeId i, double* row,
+                                      Workspace& ws) const {
+  const graph::CsrAdjacency& adj = adj_;
+  const std::size_t n = adj.offset.size() - 1;
+  ws.order.reserve(n);
+  const int gen = ++ws.generation;
+  ws.order.clear();
+  auto* node = ws.node.data();
+  row[static_cast<std::size_t>(i)] = 0.0;
+  node[static_cast<std::size_t>(i)].stamp = gen;
+  ws.parent[static_cast<std::size_t>(i)] = graph::kInvalidNode;
+  ws.size[static_cast<std::size_t>(i)] = 1;
+  ws.order.push_back(i);
+  const int* offset = adj.offset.data();
+  const NodeId* neighbor = adj.neighbor.data();
+  for (std::size_t head = 0; head < ws.order.size(); ++head) {
+    const NodeId v = ws.order[head];
+    const double base = v == i ? node[static_cast<std::size_t>(i)].weight
+                               : row[static_cast<std::size_t>(v)];
+    ws.child_begin[static_cast<std::size_t>(v)] =
+        static_cast<int>(ws.order.size());
+    const int end = offset[v + 1];
+    for (int k = offset[v]; k < end; ++k) {  // ascending id — deterministic
+      const auto wi = static_cast<std::size_t>(neighbor[k]);
+      if (node[wi].stamp == gen) continue;
+      node[wi].stamp = gen;
+      row[wi] = base + node[wi].weight;
+      ws.parent[wi] = v;
+      ws.size[wi] = 1;
+      ws.order.push_back(neighbor[k]);
+    }
+    ws.child_end[static_cast<std::size_t>(v)] =
+        static_cast<int>(ws.order.size());
+  }
+  const int reach = static_cast<int>(ws.order.size());
+  if (ws.order.size() < n) {  // disconnected graph: unreached = ∞
+    for (std::size_t j = 0; j < n; ++j) {
+      if (node[j].stamp != gen) row[j] = graph::kInfCost;
+    }
+  }
+  return reach;
+}
+
+ContentionUpdater::ContentionUpdater(const graph::Graph& g, int threads)
+    : graph_(&g), threads_(threads), adj_(graph::build_csr(g)) {}
+
+ContentionUpdater::~ContentionUpdater() = default;
+
+void ContentionUpdater::restore(util::Matrix<double> cost,
+                                std::vector<double> edge_cost) {
+  const auto n = static_cast<std::size_t>(graph_->num_nodes());
+  FAIRCACHE_CHECK(cost.rows() == n && cost.cols() == n,
+                  "restored matrix shape mismatch");
+  FAIRCACHE_CHECK(
+      edge_cost.size() == static_cast<std::size_t>(graph_->num_edges()),
+      "restored edge-cost size mismatch");
+  cost_ = std::move(cost);
+  edge_cost_ = std::move(edge_cost);
+}
+
+void ContentionUpdater::update(const CacheState& state) {
+  FAIRCACHE_CHECK(state.num_nodes() == graph_->num_nodes(),
+                  "cache state / graph size mismatch");
+  std::vector<double> next = contention_weights(*graph_, state);
+  if (!built_ || cost_.empty() || edge_cost_.empty()) {
+    // First use, or the taken buffers were never handed back.
+    build_full(next);
+    weight_ = std::move(next);
+    built_ = true;
+    return;
+  }
+  std::vector<std::pair<NodeId, double>> deltas;
+  for (std::size_t k = 0; k < next.size(); ++k) {
+    if (next[k] != weight_[k]) {
+      deltas.emplace_back(static_cast<NodeId>(k), next[k] - weight_[k]);
+    }
+  }
+  if (deltas.empty()) return;
+  weight_ = std::move(next);
+  apply_deltas(deltas);
+}
+
+void ContentionUpdater::build_full(const std::vector<double>& weight) {
+  util::Stopwatch timer;
+  const auto n = static_cast<std::size_t>(graph_->num_nodes());
+  cost_.assign_no_init(n, n);
+  pre_.assign_no_init(n, n);
+  end_.assign_no_init(n, n);
+  order_.assign_no_init(n, n);
+  reach_.resize(n);
+  row_max_.resize(n);
+
+  const int threads = util::resolve_parallel_threads(threads_, n);
+  std::vector<Workspace> ws(static_cast<std::size_t>(threads));
+  for (Workspace& w : ws) w.init(weight);
+
+  util::parallel_for(
+      n,
+      [&](std::size_t i, int worker) {
+        Workspace& w = ws[static_cast<std::size_t>(worker)];
+        const auto src = static_cast<NodeId>(i);
+        double* row = cost_[i];
+        const int reach = build_row_tree(src, row, w);
+        reach_[i] = reach;
+        row_max_[i] = finite_row_max(row, n);
+
+        // Subtree sizes: fold children into parents in reverse BFS order.
+        for (int idx = reach - 1; idx >= 1; --idx) {
+          const auto v = static_cast<std::size_t>(w.order[idx]);
+          w.size[static_cast<std::size_t>(w.parent[v])] += w.size[v];
+        }
+
+        // Preorder intervals. Children of v occupy the consecutive
+        // positions after pre(v), each shifted by the preceding siblings'
+        // subtree sizes; processing in BFS order sees parents first.
+        int* pre = pre_[i];
+        int* end = end_[i];
+        NodeId* ord = order_[i];
+        if (reach < static_cast<int>(n)) {
+          std::fill(pre, pre + n, -1);
+        }
+        pre[i] = 0;
+        end[i] = reach;
+        ord[0] = src;
+        for (int idx = 0; idx < reach; ++idx) {
+          const auto v = static_cast<std::size_t>(w.order[idx]);
+          int q = pre[v] + 1;
+          const int cb = w.child_begin[v];
+          const int ce = w.child_end[v];
+          for (int c = cb; c < ce; ++c) {
+            const auto child = static_cast<std::size_t>(w.order[c]);
+            pre[child] = q;
+            end[child] = q + w.size[child];
+            ord[q] = w.order[c];
+            q += w.size[child];
+          }
+        }
+      },
+      threads);
+
+  edge_cost_.resize(static_cast<std::size_t>(graph_->num_edges()));
+  for (graph::EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    const graph::Edge& edge = graph_->edge(e);
+    edge_cost_[static_cast<std::size_t>(e)] =
+        weight[static_cast<std::size_t>(edge.u)] +
+        weight[static_cast<std::size_t>(edge.v)];
+  }
+
+  max_cost_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_cost_ = std::max(max_cost_, row_max_[i]);
+  }
+  tree_build_seconds_ += timer.elapsed_seconds();
+}
+
+void ContentionUpdater::apply_deltas(
+    const std::vector<std::pair<NodeId, double>>& deltas) {
+  util::Stopwatch timer;
+  const auto n = cost_.rows();
+
+  bool any_negative = false;
+  for (const auto& [k, d] : deltas) {
+    if (d < 0.0) any_negative = true;
+    // Dissemination edge costs touching k: recompute from the fresh
+    // weights (both-endpoints-changed edges are recomputed twice,
+    // idempotently).
+    const auto node = static_cast<std::size_t>(k);
+    for (int slot = adj_.offset[node]; slot < adj_.offset[node + 1]; ++slot) {
+      const graph::Edge& edge = graph_->edge(adj_.incident[slot]);
+      edge_cost_[static_cast<std::size_t>(adj_.incident[slot])] =
+          weight_[static_cast<std::size_t>(edge.u)] +
+          weight_[static_cast<std::size_t>(edge.v)];
+    }
+  }
+
+  const int threads = util::resolve_parallel_threads(threads_, n);
+  // Per-worker difference arrays, zeroed once here and re-zeroed after
+  // every row by undoing exactly the scattered entries (the swept span can
+  // be long; the touched positions are only 2|D|).
+  std::vector<Workspace> ws(static_cast<std::size_t>(threads));
+  for (Workspace& w : ws) w.diff.assign(n + 1, 0.0);
+
+  util::parallel_for(
+      n,
+      [&](std::size_t i, int worker) {
+        double* diff = ws[static_cast<std::size_t>(worker)].diff.data();
+        const int* pre = pre_[i];
+        const int* end = end_[i];
+        // A delta on the source itself shifts the (zero) diagonal too; it
+        // gets reset below, so the running max needs a rescan to shed the
+        // transient value.
+        bool rescan = any_negative;
+        int first = static_cast<int>(n) + 1;
+        int last = 0;
+        for (const auto& [k, d] : deltas) {
+          const int p = pre[static_cast<std::size_t>(k)];
+          if (p < 0) continue;  // k unreachable from i: no shared path
+          if (p == 0) rescan = true;
+          const int q = end[static_cast<std::size_t>(k)];
+          diff[p] += d;
+          diff[q] -= d;
+          if (p < first) first = p;
+          if (q > last) last = q;
+        }
+        if (last <= first) return;  // every changed node in another component
+
+        double* row = cost_[i];
+        const NodeId* ord = order_[i];
+        double acc = 0.0;
+        double row_max = row_max_[i];  // valid lower bound: deltas ≥ 0 here
+        for (int p = first; p < last; ++p) {
+          acc += diff[p];
+          if (acc != 0.0) {
+            const double v = (row[static_cast<std::size_t>(ord[p])] += acc);
+            if (v > row_max) row_max = v;
+          }
+        }
+        row[i] = 0.0;  // c_ii stays 0 (self access transmits nothing)
+        row_max_[i] = rescan ? finite_row_max(row, n) : row_max;
+
+        // Leave the worker's difference array all-zero for the next row.
+        for (const auto& [k, d] : deltas) {
+          const int p = pre[static_cast<std::size_t>(k)];
+          if (p < 0) continue;
+          diff[p] = 0.0;
+          diff[end[static_cast<std::size_t>(k)]] = 0.0;
+        }
+      },
+      threads);
+
+  max_cost_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_cost_ = std::max(max_cost_, row_max_[i]);
+  }
+  delta_apply_seconds_ += timer.elapsed_seconds();
+}
+
+}  // namespace faircache::metrics

@@ -1,0 +1,115 @@
+#pragma once
+
+// Incremental contention-cost maintenance across Algorithm 1's chunk loop.
+//
+// Under PathPolicy::kHopShortest the deterministic BFS tree per source
+// depends only on the topology, never on the node weights: c_ij is the sum
+// of w_k(1 + S(k)) over the fixed tree path from i to j. Between
+// consecutive chunks only the handful of nodes that just received a copy
+// change their S(k), so the whole O(n·m) ContentionMatrix rebuild reduces
+// to, per row i, one range-add per changed node k over the preorder
+// interval of k's subtree in the tree rooted at i — O(n + |D|) sequential
+// work per row (difference events + one sweep), no graph traversal.
+//
+// The updater pins the trees once (CSR-ish preorder/subtree intervals per
+// source) and thereafter keeps its owned cost matrix, edge costs and
+// max-cost in sync with any CacheState handed to update(). Deltas may be
+// negative (chunk eviction), and rows are processed independently in
+// parallel, so results are bit-identical at any thread count.
+//
+// Floating-point caveat: an incrementally updated entry is
+// old_value + Σ Δw_k, which associates differently from the rebuild's
+// root-to-leaf accumulation. For the paper's cost model the weights
+// w_k(1+S) are integer-valued doubles, so both orders are exact and the
+// updater is bitwise identical to a fresh ContentionMatrix; for general
+// real weights agreement is only up to rounding (docs/PERF.md).
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/cache_state.h"
+#include "metrics/contention.h"
+#include "util/matrix.h"
+
+namespace faircache::metrics {
+
+class ContentionUpdater {
+ public:
+  // The graph must outlive the updater; its topology must not change
+  // (edges added after construction would invalidate the pinned trees).
+  // Only PathPolicy::kHopShortest is supported — weight-dependent paths
+  // (kMinContention) cannot be pinned. `threads` follows the
+  // ContentionMatrix contract (0 = util::parallel_threads() default).
+  explicit ContentionUpdater(const graph::Graph& g, int threads = 0);
+  ~ContentionUpdater();
+
+  ContentionUpdater(const ContentionUpdater&) = delete;
+  ContentionUpdater& operator=(const ContentionUpdater&) = delete;
+
+  // Brings the owned cost matrix, edge costs and max_cost in sync with
+  // `state`. The first call (or any call after take_* without restore)
+  // performs the full build and pins the per-source trees; later calls
+  // apply the sparse weight deltas. No-op when no node weight changed.
+  void update(const CacheState& state);
+
+  const graph::Graph& graph() const { return *graph_; }
+
+  double cost(graph::NodeId i, graph::NodeId j) const {
+    return cost_(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+  }
+  const util::Matrix<double>& matrix() const { return cost_; }
+  const std::vector<double>& edge_costs() const { return edge_cost_; }
+  double max_cost() const { return max_cost_; }
+
+  // Zero-copy hand-off for instance building: steal the buffers, let the
+  // solver run on them, then hand them back so the next update() can
+  // delta-patch instead of rebuilding. An update() with outstanding
+  // (never-restored) buffers falls back to a full rebuild.
+  util::Matrix<double> take_matrix() { return std::move(cost_); }
+  std::vector<double> take_edge_costs() { return std::move(edge_cost_); }
+  void restore(util::Matrix<double> cost, std::vector<double> edge_cost);
+
+  // Cumulative wall-clock split of the work done by update() calls:
+  // full builds (BFS trees + preorder intervals + initial matrix) vs
+  // sparse delta sweeps. Surfaced per run in core::SolveReport.
+  double tree_build_seconds() const { return tree_build_seconds_; }
+  double delta_apply_seconds() const { return delta_apply_seconds_; }
+
+ private:
+  struct Workspace;  // per-worker scratch, defined in the .cpp
+
+  // Builds row i of the cost matrix (the exact hop-shortest arithmetic of
+  // ContentionMatrix) while recording the BFS tree into `ws`; returns the
+  // number of reachable nodes.
+  int build_row_tree(graph::NodeId i, double* row, Workspace& ws) const;
+
+  void build_full(const std::vector<double>& weight);
+  void apply_deltas(const std::vector<std::pair<graph::NodeId, double>>& d);
+
+  const graph::Graph* graph_ = nullptr;
+  int threads_ = 0;
+  graph::CsrAdjacency adj_;
+
+  util::Matrix<double> cost_;
+  std::vector<double> edge_cost_;
+  double max_cost_ = 0.0;
+
+  // Pinned per-source trees: pre_(i, k) = preorder index of k in the BFS
+  // tree rooted at i (-1 if unreachable from i); the subtree of k is the
+  // contiguous preorder interval [pre_(i,k), end_(i,k)); order_(i, p) =
+  // node at preorder position p (valid for p < reach_[i]).
+  util::Matrix<int> pre_;
+  util::Matrix<int> end_;
+  util::Matrix<graph::NodeId> order_;
+  std::vector<int> reach_;
+  std::vector<double> row_max_;
+
+  std::vector<double> weight_;  // w_k(1+S(k)) the costs currently reflect
+  bool built_ = false;
+
+  double tree_build_seconds_ = 0.0;
+  double delta_apply_seconds_ = 0.0;
+};
+
+}  // namespace faircache::metrics
