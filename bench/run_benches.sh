@@ -1,19 +1,20 @@
 #!/usr/bin/env bash
-# Runs the solver-core microbenchmarks (BENCH_solver_core.json) and the
-# anytime-budget ablation (BENCH_abl_deadline.txt) and writes both at the
-# repo root. Usage:
+# Runs the solver-core microbenchmarks (BENCH_solver_core.json), the
+# anytime-budget ablation (BENCH_abl_deadline.txt) and the churn-repair
+# ablation (BENCH_abl_churn.txt) and writes them at the repo root. Usage:
 #
 #   bench/run_benches.sh [build-dir]
 #
 # The build dir defaults to ./build and must already contain
-# bench/bench_solver_core and bench/abl_deadline (configure with the
-# top-level CMakeLists and build those targets first).
+# bench/bench_solver_core, bench/abl_deadline and bench/abl_churn
+# (configure with the top-level CMakeLists and build those targets first).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 bench_bin="${build_dir}/bench/bench_solver_core"
 deadline_bin="${build_dir}/bench/abl_deadline"
+churn_bin="${build_dir}/bench/abl_churn"
 
 if [[ ! -x "${bench_bin}" ]]; then
   echo "error: ${bench_bin} not found; build the bench_solver_core target" >&2
@@ -21,6 +22,10 @@ if [[ ! -x "${bench_bin}" ]]; then
 fi
 if [[ ! -x "${deadline_bin}" ]]; then
   echo "error: ${deadline_bin} not found; build the abl_deadline target" >&2
+  exit 1
+fi
+if [[ ! -x "${churn_bin}" ]]; then
+  echo "error: ${churn_bin} not found; build the abl_churn target" >&2
   exit 1
 fi
 
@@ -36,3 +41,7 @@ echo "wrote ${repo_root}/BENCH_solver_core.json"
 "${deadline_bin}" > "${repo_root}/BENCH_abl_deadline.txt"
 
 echo "wrote ${repo_root}/BENCH_abl_deadline.txt"
+
+"${churn_bin}" > "${repo_root}/BENCH_abl_churn.txt"
+
+echo "wrote ${repo_root}/BENCH_abl_churn.txt"

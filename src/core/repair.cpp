@@ -1,0 +1,379 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/instance_builder.h"
+#include "core/validate.h"
+#include "graph/shortest_paths.h"
+#include "util/check.h"
+#include "util/matrix.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace faircache::core {
+
+namespace {
+
+using graph::NodeId;
+using metrics::ChunkId;
+
+bool is_alive(const std::vector<char>& alive, NodeId v) {
+  return alive[static_cast<std::size_t>(v)] != 0;
+}
+
+// BFS hop distances from `source` that never routes through dead nodes.
+// Writes kUnreachable for dead nodes and nodes cut off from the source.
+void alive_bfs_row(const graph::Graph& g, const std::vector<char>& alive,
+                   NodeId source, int* dist) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::fill(dist, dist + n, graph::kUnreachable);
+  if (!is_alive(alive, source)) return;
+  std::vector<NodeId> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push_back(source);
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const NodeId v = frontier[head++];
+    for (NodeId w : g.neighbors(v)) {
+      if (!is_alive(alive, w)) continue;
+      if (dist[static_cast<std::size_t>(w)] == graph::kUnreachable) {
+        dist[static_cast<std::size_t>(w)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+}
+
+// Multi-source variant: hop distance to the nearest of `sources`.
+std::vector<int> alive_multi_bfs(const graph::Graph& g,
+                                 const std::vector<char>& alive,
+                                 const std::vector<NodeId>& sources) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<int> dist(n, graph::kUnreachable);
+  std::vector<NodeId> frontier;
+  for (NodeId s : sources) {
+    if (!is_alive(alive, s)) continue;
+    if (dist[static_cast<std::size_t>(s)] == 0) continue;
+    dist[static_cast<std::size_t>(s)] = 0;
+    frontier.push_back(s);
+  }
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const NodeId v = frontier[head++];
+    for (NodeId w : g.neighbors(v)) {
+      if (!is_alive(alive, w)) continue;
+      if (dist[static_cast<std::size_t>(w)] == graph::kUnreachable) {
+        dist[static_cast<std::size_t>(w)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+AliveComponent induce_alive_component(const graph::Graph& snapshot,
+                                      const std::vector<char>& alive,
+                                      const metrics::CacheState& state) {
+  FAIRCACHE_CHECK(snapshot.num_nodes() == state.num_nodes(),
+                  "snapshot / placement size mismatch");
+  FAIRCACHE_CHECK(static_cast<int>(alive.size()) == snapshot.num_nodes(),
+                  "liveness mask size mismatch");
+  const NodeId producer = state.producer();
+  FAIRCACHE_CHECK(producer >= 0 && is_alive(alive, producer),
+                  "producer must be alive to induce its component");
+
+  const std::vector<int> dist =
+      alive_multi_bfs(snapshot, alive, {producer});
+  std::vector<NodeId> keep;
+  for (NodeId v = 0; v < snapshot.num_nodes(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] != graph::kUnreachable) {
+      keep.push_back(v);
+    }
+  }
+
+  AliveComponent component;
+  component.sub = graph::induced_subgraph(snapshot, keep);
+  std::vector<int> capacities;
+  capacities.reserve(keep.size());
+  for (NodeId v : keep) capacities.push_back(state.capacity(v));
+  component.state = metrics::CacheState(
+      std::move(capacities),
+      component.sub.to_new[static_cast<std::size_t>(producer)]);
+  for (NodeId v : keep) {
+    const NodeId nv = component.sub.to_new[static_cast<std::size_t>(v)];
+    for (ChunkId c : state.chunks_on(v)) component.state.add(nv, c);
+  }
+  return component;
+}
+
+util::Result<RepairReport> PlacementRepairEngine::repair(
+    const graph::Graph& snapshot, const std::vector<char>& alive,
+    int num_chunks, metrics::CacheState& state,
+    const util::RunBudget& budget) {
+  using util::Status;
+  RepairReport report;
+  util::Stopwatch clock;
+
+  const int n = snapshot.num_nodes();
+  if (state.num_nodes() != n) {
+    return Status::invalid_input("snapshot / placement size mismatch");
+  }
+  if (static_cast<int>(alive.size()) != n) {
+    return Status::invalid_input("liveness mask size mismatch");
+  }
+  if (num_chunks < 0) {
+    return Status::invalid_input("negative chunk count");
+  }
+  const NodeId producer = state.producer();
+  if (producer < 0 || producer >= n) {
+    return Status::invalid_input("placement has no valid producer");
+  }
+  if (!is_alive(alive, producer)) {
+    return Status::invalid_input(
+        "producer is dead; the data source cannot be repaired around");
+  }
+  const int threads = options_.approx.instance.threads;
+
+  // Charges deterministic work at sequential points only, so a pure
+  // work-unit budget truncates at the same program point regardless of
+  // thread count or machine load.
+  auto charge = [&](std::uint64_t units) {
+    report.work_units += units;
+    budget.charge(units);
+  };
+
+  // --- Phase 0: detection + eviction (never budget-gated — a dead holder
+  // is a validity violation, not an optimization). ---
+  util::Stopwatch phase;
+  std::vector<int> lost(static_cast<std::size_t>(num_chunks), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_alive(alive, v)) continue;
+    const std::vector<ChunkId> held = state.chunks_on(v);
+    for (ChunkId c : held) {
+      state.remove(v, c);
+      ++lost[static_cast<std::size_t>(c)];
+      ++report.replicas_lost;
+    }
+  }
+  std::vector<ChunkId> affected;
+  for (ChunkId c = 0; c < num_chunks; ++c) {
+    if (lost[static_cast<std::size_t>(c)] > 0) affected.push_back(c);
+  }
+  report.chunks_affected = static_cast<int>(affected.size());
+
+  // Disconnected-demand scan: (alive node, chunk) pairs whose component
+  // holds no copy at all. These cannot be repaired — a new replica has to
+  // be fetched from an existing one — so they are reported, not retried.
+  for (ChunkId c = 0; c < num_chunks; ++c) {
+    std::vector<NodeId> sources = state.holders(c);
+    sources.push_back(producer);
+    const std::vector<int> dist = alive_multi_bfs(snapshot, alive, sources);
+    for (NodeId j = 0; j < n; ++j) {
+      if (j == producer || !is_alive(alive, j)) continue;
+      if (dist[static_cast<std::size_t>(j)] == graph::kUnreachable) {
+        ++report.unservable_pairs;
+      }
+    }
+  }
+  charge(static_cast<std::uint64_t>(num_chunks));
+  report.detect_seconds = phase.elapsed_seconds();
+
+  auto finish = [&](Status stop, int chunks_left) {
+    report.stop_reason = std::move(stop);
+    report.chunks_unrepaired += chunks_left;
+    report.total_seconds = clock.elapsed_seconds();
+    return report;
+  };
+
+  if (affected.empty() || options_.level == RepairLevel::kEvictOnly) {
+    const int left =
+        options_.level == RepairLevel::kEvictOnly ? report.chunks_affected
+                                                  : 0;
+    return finish(Status(), left);
+  }
+  if (budget.expired()) {
+    return finish(budget.status("repair detection"),
+                  report.chunks_affected);
+  }
+
+  // --- Phase 1: local re-hosting. One hop-matrix build feeds every
+  // chunk's greedy pass; rows are independent, so the build runs under
+  // the budget and the whole matrix is discarded if it expires mid-loop
+  // (a torn matrix must never influence placement decisions). ---
+  phase.reset();
+  charge(static_cast<std::uint64_t>(n));
+  if (budget.expired()) {
+    return finish(budget.status("repair hop matrix"),
+                  report.chunks_affected);
+  }
+  util::Matrix<int> hops(static_cast<std::size_t>(n),
+                         static_cast<std::size_t>(n));
+  util::parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t v) {
+        alive_bfs_row(snapshot, alive, static_cast<NodeId>(v), hops[v]);
+      },
+      threads, budget);
+  if (budget.expired()) {
+    // The loop may have returned with rows unwritten; nothing below may
+    // read them (the parallel_for cancellation contract).
+    return finish(budget.status("repair hop matrix"),
+                  report.chunks_affected);
+  }
+
+  std::vector<ChunkId> escalate;
+  std::vector<long> gain(static_cast<std::size_t>(n));
+  bool truncated = false;
+  std::size_t next_chunk = 0;
+  for (; next_chunk < affected.size(); ++next_chunk) {
+    const ChunkId c = affected[next_chunk];
+    if (budget.expired()) {
+      truncated = true;
+      break;
+    }
+    std::vector<NodeId> sources = state.holders(c);
+    sources.push_back(producer);
+    std::vector<int> nearest = alive_multi_bfs(snapshot, alive, sources);
+
+    int restored = 0;
+    bool chunk_truncated = false;
+    while (restored < lost[static_cast<std::size_t>(c)]) {
+      charge(static_cast<std::uint64_t>(n));
+      if (budget.expired()) {
+        chunk_truncated = true;
+        break;
+      }
+      util::parallel_for(
+          static_cast<std::size_t>(n),
+          [&](std::size_t vi) {
+            const auto v = static_cast<NodeId>(vi);
+            gain[vi] = std::numeric_limits<long>::min();
+            if (!is_alive(alive, v) || !state.can_cache(v, c)) return;
+            const int reach = nearest[vi];
+            if (reach == graph::kUnreachable) return;  // no copy to fetch
+            const int* row = hops[vi];
+            long g = -static_cast<long>(reach);  // dissemination penalty
+            for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+              const int nj = nearest[j];
+              if (nj == graph::kUnreachable || row[j] >= nj) continue;
+              g += nj - row[j];
+            }
+            gain[vi] = g;
+          },
+          threads, budget);
+      if (budget.expired()) {
+        // Partial gain array — discard it rather than act on torn data.
+        chunk_truncated = true;
+        break;
+      }
+      long best_gain = 0;
+      NodeId best_v = graph::kInvalidNode;
+      for (std::size_t vi = 0; vi < static_cast<std::size_t>(n); ++vi) {
+        if (gain[vi] > best_gain) {
+          best_gain = gain[vi];
+          best_v = static_cast<NodeId>(vi);
+        }
+      }
+      if (best_v == graph::kInvalidNode) break;  // no net improvement left
+      state.add(best_v, c);
+      ++restored;
+      ++report.replicas_restored;
+      const int* row = hops[static_cast<std::size_t>(best_v)];
+      for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+        nearest[j] = std::min(nearest[j], row[j]);
+      }
+    }
+    if (chunk_truncated) {
+      truncated = true;
+      break;
+    }
+    if (restored >= lost[static_cast<std::size_t>(c)]) {
+      ++report.chunks_local;
+    } else if (options_.level == RepairLevel::kLocalThenResolve) {
+      escalate.push_back(c);
+    } else {
+      ++report.chunks_unrepaired;
+    }
+  }
+  report.local_seconds = phase.elapsed_seconds();
+  if (truncated) {
+    return finish(budget.status("repair local pass"),
+                  static_cast<int>(affected.size() - next_chunk));
+  }
+
+  // --- Phase 2: escalation — per-chunk ConFL re-solves over the
+  // producer's alive component, applied transactionally. ---
+  phase.reset();
+  for (std::size_t e = 0; e < escalate.size(); ++e) {
+    const ChunkId c = escalate[e];
+    charge(static_cast<std::uint64_t>(n));
+    if (budget.expired()) {
+      report.resolve_seconds = phase.elapsed_seconds();
+      return finish(budget.status("repair escalation"),
+                    static_cast<int>(escalate.size() - e));
+    }
+    AliveComponent component = induce_alive_component(snapshot, alive, state);
+    // Re-solve chunk c from scratch: the solver sees the component without
+    // any copy of c (fairness costs still reflect every other chunk).
+    for (NodeId v = 0; v < component.state.num_nodes(); ++v) {
+      if (component.state.holds(v, c)) component.state.remove(v, c);
+    }
+    FairCachingProblem sub_problem;
+    sub_problem.network = &component.sub.graph;
+    sub_problem.producer = component.state.producer();
+    sub_problem.num_chunks = num_chunks;
+    sub_problem.capacities.reserve(
+        static_cast<std::size_t>(component.state.num_nodes()));
+    for (NodeId v = 0; v < component.state.num_nodes(); ++v) {
+      sub_problem.capacities.push_back(component.state.capacity(v));
+    }
+    InstanceOptions instance_options = options_.approx.instance;
+    instance_options.demand = nullptr;  // demand rows index original ids
+    ChunkInstanceEngine engine(sub_problem, instance_options);
+    util::Result<confl::ConflInstance> instance =
+        engine.build(component.state, c);
+    if (!instance.ok()) return instance.status();
+    util::Result<confl::ConflSolution> solution =
+        confl::try_solve_confl(instance.value(), options_.approx.confl,
+                               budget);
+    if (!solution.ok()) {
+      if (budget.expired()) {
+        // Mid-solve expiry: the chunk keeps its (partial) local repair —
+        // still a valid placement — and is reported unrepaired.
+        report.resolve_seconds = phase.elapsed_seconds();
+        return finish(budget.status("repair escalation"),
+                      static_cast<int>(escalate.size() - e));
+      }
+      // Solver failure on this component (e.g. dual growth hit its round
+      // cap): the chunk keeps its partial local repair and stays counted
+      // as unrepaired; later chunks still get their chance.
+      ++report.chunks_unrepaired;
+      continue;
+    }
+    // Transactional swap: drop the component's old copies of c, then place
+    // the re-solved set (both loops preserve validity step by step).
+    const int before = static_cast<int>(state.holders(c).size());
+    for (NodeId v = 0; v < component.state.num_nodes(); ++v) {
+      const NodeId orig =
+          component.sub.to_original[static_cast<std::size_t>(v)];
+      if (state.holds(orig, c)) state.remove(orig, c);
+    }
+    for (NodeId v : solution.value().open_facilities) {
+      const NodeId orig =
+          component.sub.to_original[static_cast<std::size_t>(v)];
+      if (state.can_cache(orig, c)) state.add(orig, c);
+    }
+    report.replicas_restored +=
+        static_cast<int>(state.holders(c).size()) - before;
+    ++report.chunks_resolved;
+  }
+  report.resolve_seconds = phase.elapsed_seconds();
+  return finish(Status(), 0);
+}
+
+}  // namespace faircache::core

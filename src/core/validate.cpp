@@ -35,4 +35,43 @@ util::Status validate_problem(const FairCachingProblem& problem) {
   return Status();
 }
 
+util::Status validate_placement(const metrics::CacheState& state,
+                                int num_chunks,
+                                const std::vector<char>* alive) {
+  using util::Status;
+  const int n = state.num_nodes();
+  if (num_chunks < 0) {
+    return Status::invalid_input("negative chunk count");
+  }
+  if (alive != nullptr && static_cast<int>(alive->size()) != n) {
+    return Status::invalid_input("liveness mask size mismatch");
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto& chunks = state.chunks_on(v);
+    if (v == state.producer() && !chunks.empty()) {
+      return Status::invalid_input("producer caches chunks");
+    }
+    if (static_cast<int>(chunks.size()) > state.capacity(v)) {
+      return Status::invalid_input("node " + std::to_string(v) +
+                                   " exceeds its cache capacity");
+    }
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      if (chunks[i] < 0 || chunks[i] >= num_chunks) {
+        return Status::invalid_input("node " + std::to_string(v) +
+                                     " caches an out-of-range chunk id");
+      }
+      if (i > 0 && chunks[i] <= chunks[i - 1]) {
+        return Status::invalid_input("node " + std::to_string(v) +
+                                     " holds a duplicate chunk");
+      }
+    }
+    if (alive != nullptr && (*alive)[static_cast<std::size_t>(v)] == 0 &&
+        !chunks.empty()) {
+      return Status::invalid_input("dead node " + std::to_string(v) +
+                                   " still holds replicas");
+    }
+  }
+  return Status();
+}
+
 }  // namespace faircache::core

@@ -18,4 +18,13 @@ namespace faircache::core {
 // every consumer, so no placement is feasible under the paper's model).
 util::Status validate_problem(const FairCachingProblem& problem);
 
+// Placement-level validation — the invariant every repair step must
+// preserve (docs/CHURN.md): per-node capacity respected, the producer
+// caches nothing, every cached chunk id lies in [0, num_chunks), and, when
+// a liveness mask is supplied, no dead node holds a copy
+// (holder-aliveness). kInvalidInput names the first violated rule.
+util::Status validate_placement(const metrics::CacheState& state,
+                                int num_chunks,
+                                const std::vector<char>* alive = nullptr);
+
 }  // namespace faircache::core

@@ -7,22 +7,91 @@
 
 namespace faircache::sim {
 
+namespace {
+
+// Half-open outage windows [start, end) with end < 0 meaning "forever".
+bool windows_overlap(int start_a, int end_a, int start_b, int end_b) {
+  const bool a_before_b = end_a >= 0 && end_a <= start_b;
+  const bool b_before_a = end_b >= 0 && end_b <= start_a;
+  return !(a_before_b || b_before_a);
+}
+
+}  // namespace
+
+util::Status validate_fault_plan(const FaultPlan& plan, int num_nodes) {
+  using util::Status;
+  if (num_nodes <= 0) {
+    return Status::invalid_input("channel needs a positive node count");
+  }
+  if (plan.drop_rate < 0.0 || plan.drop_rate > 1.0) {
+    return Status::invalid_input("drop rate must be a probability");
+  }
+  if (plan.duplicate_rate < 0.0 || plan.duplicate_rate > 1.0) {
+    return Status::invalid_input("duplicate rate must be a probability");
+  }
+  if (plan.delay_rate < 0.0 || plan.delay_rate > 1.0) {
+    return Status::invalid_input("delay rate must be a probability");
+  }
+  if (plan.delay_rate > 0.0 && plan.max_delay_rounds < 1) {
+    return Status::invalid_input(
+        "delayed messages must be late by at least one round");
+  }
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    const CrashEvent& c = plan.crashes[i];
+    if (c.node < 0 || c.node >= num_nodes) {
+      return Status::invalid_input("crash event names an unknown node");
+    }
+    if (c.crash_round < 0) {
+      return Status::invalid_input("crash round must not be negative");
+    }
+    if (c.restart_round >= 0 && c.restart_round <= c.crash_round) {
+      return Status::invalid_input("restart must come after the crash");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      const CrashEvent& other = plan.crashes[j];
+      if (other.node == c.node &&
+          windows_overlap(c.crash_round, c.restart_round, other.crash_round,
+                          other.restart_round)) {
+        return Status::invalid_input(
+            "overlapping crash windows for node " + std::to_string(c.node));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < plan.link_faults.size(); ++i) {
+    const LinkFault& l = plan.link_faults[i];
+    if (l.u < 0 || l.u >= num_nodes || l.v < 0 || l.v >= num_nodes) {
+      return Status::invalid_input("link fault names an unknown node");
+    }
+    if (l.u == l.v) {
+      return Status::invalid_input("link fault needs two distinct endpoints");
+    }
+    if (l.down_round < 0) {
+      return Status::invalid_input("link down round must not be negative");
+    }
+    if (l.up_round >= 0 && l.up_round <= l.down_round) {
+      return Status::invalid_input("link must come back after it goes down");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      const LinkFault& other = plan.link_faults[j];
+      const bool same_link = (other.u == l.u && other.v == l.v) ||
+                             (other.u == l.v && other.v == l.u);
+      if (same_link && windows_overlap(l.down_round, l.up_round,
+                                       other.down_round, other.up_round)) {
+        return Status::invalid_input("overlapping outage windows for link " +
+                                     std::to_string(l.u) + "-" +
+                                     std::to_string(l.v));
+      }
+    }
+  }
+  return Status();
+}
+
 FaultyChannel::FaultyChannel(FaultPlan plan, int num_nodes)
     : plan_(std::move(plan)), num_nodes_(num_nodes), rng_(plan_.seed) {
-  FAIRCACHE_CHECK(num_nodes_ > 0, "channel needs a positive node count");
-  FAIRCACHE_CHECK(plan_.drop_rate >= 0.0 && plan_.drop_rate <= 1.0,
-                  "drop rate must be a probability");
-  FAIRCACHE_CHECK(plan_.duplicate_rate >= 0.0 && plan_.duplicate_rate <= 1.0,
-                  "duplicate rate must be a probability");
-  FAIRCACHE_CHECK(plan_.delay_rate >= 0.0 && plan_.delay_rate <= 1.0,
-                  "delay rate must be a probability");
-  FAIRCACHE_CHECK(plan_.delay_rate == 0.0 || plan_.max_delay_rounds >= 1,
-                  "delayed messages must be late by at least one round");
-  for (const CrashEvent& c : plan_.crashes) {
-    FAIRCACHE_CHECK(c.node >= 0 && c.node < num_nodes_,
-                    "crash event names an unknown node");
-    FAIRCACHE_CHECK(c.restart_round < 0 || c.restart_round > c.crash_round,
-                    "restart must come after the crash");
+  const util::Status status = validate_fault_plan(plan_, num_nodes_);
+  if (!status.ok()) {
+    util::check_failed("validate_fault_plan(plan, num_nodes).ok()", __FILE__,
+                       __LINE__, status.message());
   }
 }
 
@@ -31,6 +100,19 @@ bool FaultyChannel::alive_at(graph::NodeId v, int round) const {
     if (c.node != v) continue;
     if (round >= c.crash_round &&
         (c.restart_round < 0 || round < c.restart_round)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FaultyChannel::link_up_at(graph::NodeId u, graph::NodeId v,
+                               int round) const {
+  for (const LinkFault& l : plan_.link_faults) {
+    const bool same_link =
+        (l.u == u && l.v == v) || (l.u == v && l.v == u);
+    if (!same_link) continue;
+    if (round >= l.down_round && (l.up_round < 0 || round < l.up_round)) {
       return false;
     }
   }
@@ -82,6 +164,10 @@ std::vector<Message> FaultyChannel::transmit(std::vector<Message> outbox) {
       ++stats_.crash_dropped;
       continue;
     }
+    if (!link_up_at(d.message.from, d.message.to, round_)) {
+      ++stats_.link_dropped;
+      continue;
+    }
     batch.push_back(d.message);
   }
   delayed_.resize(kept);
@@ -91,6 +177,12 @@ std::vector<Message> FaultyChannel::transmit(std::vector<Message> outbox) {
     // hears nothing.
     if (!alive_at(m.from, round_ - 1) || !alive_at(m.to, round_)) {
       ++stats_.crash_dropped;
+      continue;
+    }
+    // A severed direct link loses the message in both directions; routed
+    // (multi-hop) traffic is modelled at the protocol layer, not here.
+    if (!link_up_at(m.from, m.to, round_)) {
+      ++stats_.link_dropped;
       continue;
     }
     if (plan_.drop_rate > 0.0 && rng_.bernoulli(plan_.drop_rate)) {

@@ -19,6 +19,7 @@
 
 #include "sim/messages.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace faircache::sim {
 
@@ -32,6 +33,18 @@ struct CrashEvent {
   int restart_round = -1;  // exclusive; -1 = permanent crash
 };
 
+// One link outage: the undirected link {u, v} is down for bus rounds
+// [down_round, up_round). `up_round < 0` means it never comes back. While
+// down, every direct (u, v) or (v, u) transmission is lost (counted as
+// link_dropped); multi-hop routes around the link are the protocol's
+// business, not the channel's.
+struct LinkFault {
+  graph::NodeId u = graph::kInvalidNode;
+  graph::NodeId v = graph::kInvalidNode;
+  int down_round = 0;
+  int up_round = -1;  // exclusive; -1 = permanently down
+};
+
 // Deterministic, seeded fault schedule. All probabilistic faults draw from
 // one xoshiro stream seeded with `seed`, in message order, so a fixed plan
 // reproduces an identical fault pattern run after run.
@@ -43,12 +56,22 @@ struct FaultPlan {
   int max_delay_rounds = 2;     // delayed messages arrive 1..max rounds late
   bool reorder = false;         // shuffle each round's delivery order
   std::vector<CrashEvent> crashes;
+  std::vector<LinkFault> link_faults;
 
   bool has_faults() const {
     return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||
-           reorder || !crashes.empty();
+           reorder || !crashes.empty() || !link_faults.empty();
   }
 };
+
+// Non-throwing schedule validation: rates must be probabilities, delays at
+// least one round late, every crash/link event in range with a
+// chronologically valid window (no negative times, restart/up strictly
+// after the outage starts), and no two windows for the same node or link
+// overlapping (back-to-back windows sharing an endpoint are fine). The
+// FaultyChannel constructor enforces exactly these predicates with
+// FAIRCACHE_CHECK; callers with untrusted schedules validate first.
+util::Status validate_fault_plan(const FaultPlan& plan, int num_nodes);
 
 // Knobs of the ACK/retransmission layer in sim::DistributedFairCaching.
 struct ReliabilityConfig {
@@ -83,12 +106,13 @@ class FaultyChannel {
   // discarded application messages count as dropped.
   void flush();
 
-  // Channel-side fault counters (dropped / crash_dropped / duplicated /
-  // delayed); the `sent` array stays zero.
+  // Channel-side fault counters (dropped / crash_dropped / link_dropped /
+  // duplicated / delayed); the `sent` array stays zero.
   const MessageStats& stats() const { return stats_; }
 
  private:
   bool alive_at(graph::NodeId v, int round) const;
+  bool link_up_at(graph::NodeId u, graph::NodeId v, int round) const;
 
   FaultPlan plan_;
   int num_nodes_ = 0;

@@ -64,6 +64,7 @@ struct MessageStats {
   long retransmits = 0;       // timed-out messages re-sent
   long dropped = 0;           // lost to random channel loss
   long crash_dropped = 0;     // lost because an endpoint was down
+  long link_dropped = 0;      // lost because the (from, to) link was down
   long duplicated = 0;        // channel-duplicated deliveries
   long delayed = 0;           // deliveries postponed ≥ 1 round
   long deduplicated = 0;      // duplicate deliveries suppressed by seq
@@ -87,6 +88,7 @@ struct MessageStats {
     retransmits += other.retransmits;
     dropped += other.dropped;
     crash_dropped += other.crash_dropped;
+    link_dropped += other.link_dropped;
     duplicated += other.duplicated;
     delayed += other.delayed;
     deduplicated += other.deduplicated;

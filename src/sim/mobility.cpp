@@ -85,22 +85,33 @@ graph::Graph RandomWaypointModel::topology() const {
 
 PlacementRobustness evaluate_robustness(const graph::Graph& snapshot,
                                         const metrics::CacheState& placement,
-                                        int num_chunks) {
+                                        int num_chunks,
+                                        const std::vector<char>* alive) {
   FAIRCACHE_CHECK(snapshot.num_nodes() == placement.num_nodes(),
                   "snapshot / placement size mismatch");
+  FAIRCACHE_CHECK(num_chunks >= 0, "negative chunk count");
+  FAIRCACHE_CHECK(alive == nullptr ||
+                      static_cast<int>(alive->size()) ==
+                          snapshot.num_nodes(),
+                  "liveness mask size mismatch");
+  const auto is_alive = [&](graph::NodeId v) {
+    return alive == nullptr || (*alive)[static_cast<std::size_t>(v)] != 0;
+  };
   PlacementRobustness result;
-  long fetches = 0;
-  long reachable = 0;
   double hop_sum = 0.0;
 
   for (metrics::ChunkId chunk = 0; chunk < num_chunks; ++chunk) {
     std::vector<graph::NodeId> sources = placement.holders(chunk);
     sources.push_back(placement.producer());
-    // Multi-source BFS: distance from the nearest copy.
+    // Multi-source BFS: distance from the nearest copy. Dead nodes are
+    // neither seeded nor relayed through; an out-of-range producer (no
+    // producer present in the snapshot) simply contributes no source.
     std::vector<int> dist(static_cast<std::size_t>(snapshot.num_nodes()),
                           graph::kUnreachable);
     std::vector<graph::NodeId> frontier;
     for (graph::NodeId s : sources) {
+      if (s < 0 || s >= snapshot.num_nodes() || !is_alive(s)) continue;
+      if (dist[static_cast<std::size_t>(s)] == 0) continue;
       dist[static_cast<std::size_t>(s)] = 0;
       frontier.push_back(s);
     }
@@ -108,6 +119,7 @@ PlacementRobustness evaluate_robustness(const graph::Graph& snapshot,
     while (head < frontier.size()) {
       const graph::NodeId v = frontier[head++];
       for (graph::NodeId w : snapshot.neighbors(v)) {
+        if (!is_alive(w)) continue;
         if (dist[static_cast<std::size_t>(w)] == graph::kUnreachable) {
           dist[static_cast<std::size_t>(w)] =
               dist[static_cast<std::size_t>(v)] + 1;
@@ -116,21 +128,22 @@ PlacementRobustness evaluate_robustness(const graph::Graph& snapshot,
       }
     }
     for (graph::NodeId j = 0; j < snapshot.num_nodes(); ++j) {
-      if (j == placement.producer()) continue;
-      ++fetches;
+      if (j == placement.producer() || !is_alive(j)) continue;
+      ++result.pairs;
       if (dist[static_cast<std::size_t>(j)] != graph::kUnreachable) {
-        ++reachable;
+        ++result.reachable_pairs;
         hop_sum += dist[static_cast<std::size_t>(j)];
       }
     }
   }
   result.reachable_fraction =
-      fetches == 0 ? 1.0
-                   : static_cast<double>(reachable) /
-                         static_cast<double>(fetches);
-  result.mean_hops = reachable == 0
-                         ? 0.0
-                         : hop_sum / static_cast<double>(reachable);
+      result.pairs == 0 ? 1.0
+                        : static_cast<double>(result.reachable_pairs) /
+                              static_cast<double>(result.pairs);
+  result.mean_hops =
+      result.reachable_pairs == 0
+          ? 0.0
+          : hop_sum / static_cast<double>(result.reachable_pairs);
   return result;
 }
 

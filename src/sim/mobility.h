@@ -54,14 +54,25 @@ class RandomWaypointModel {
 
 // Robustness of a placement on a (possibly disconnected) topology
 // snapshot: for every (non-producer node, chunk) pair, can the node still
-// reach a copy (holder or producer), and at what hop distance?
+// reach a copy (holder or producer), and at what hop distance? Hardened
+// for the degenerate inputs churn produces: a disconnected snapshot just
+// yields reachable_fraction < 1, an empty placement (or producer-only
+// chunk) measures distance to the producer alone, an invalid producer id
+// contributes no source, and zero pairs reports reachable_fraction = 1.
 struct PlacementRobustness {
   double reachable_fraction = 0.0;  // fetches with any reachable copy
   double mean_hops = 0.0;           // mean hop distance among reachable
+  long pairs = 0;                   // (consumer, chunk) pairs measured
+  long reachable_pairs = 0;         // pairs with any reachable copy
 };
 
+// `alive` (optional, sized num_nodes) excludes dead nodes entirely: they
+// are neither sources, nor consumers, nor relays on a fetch path — exactly
+// the liveness view core::PlacementRepairEngine repairs against.
 PlacementRobustness evaluate_robustness(const graph::Graph& snapshot,
                                         const metrics::CacheState& placement,
-                                        int num_chunks);
+                                        int num_chunks,
+                                        const std::vector<char>* alive =
+                                            nullptr);
 
 }  // namespace faircache::sim

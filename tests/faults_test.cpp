@@ -162,6 +162,130 @@ TEST(FaultyChannelTest, RejectsMalformedPlans) {
   EXPECT_THROW(FaultyChannel(bad_restart, 4), util::CheckError);
 }
 
+// --- validate_fault_plan: every rejection is a typed kInvalidInput, and a
+// valid plan round-trips through the channel constructor. ---
+
+TEST(ValidateFaultPlanTest, AcceptsAWellFormedPlan) {
+  FaultPlan plan;
+  plan.drop_rate = 0.1;
+  plan.delay_rate = 0.2;
+  plan.max_delay_rounds = 3;
+  plan.crashes.push_back({1, 0, 4});
+  plan.crashes.push_back({1, 4, -1});  // windows touch but do not overlap
+  plan.link_faults.push_back({0, 2, 1, 5});
+  plan.link_faults.push_back({2, 0, 5, -1});
+  EXPECT_TRUE(validate_fault_plan(plan, 4).ok());
+}
+
+TEST(ValidateFaultPlanTest, RejectsEveryMalformation) {
+  const auto reject = [](const FaultPlan& plan, int num_nodes = 4) {
+    const util::Status status = validate_fault_plan(plan, num_nodes);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), util::StatusCode::kInvalidInput);
+  };
+
+  {
+    FaultPlan plan;  // zero-node network
+    reject(plan, 0);
+  }
+  {
+    FaultPlan plan;  // rate outside [0, 1]
+    plan.duplicate_rate = -0.5;
+    reject(plan);
+  }
+  {
+    FaultPlan plan;  // delay enabled but no delay horizon
+    plan.delay_rate = 0.5;
+    plan.max_delay_rounds = 0;
+    reject(plan);
+  }
+  {
+    FaultPlan plan;  // crash node out of range
+    plan.crashes.push_back({4, 0, -1});
+    reject(plan);
+  }
+  {
+    FaultPlan plan;  // negative crash round
+    plan.crashes.push_back({1, -2, -1});
+    reject(plan);
+  }
+  {
+    FaultPlan plan;  // overlapping crash windows on one node
+    plan.crashes.push_back({1, 0, 5});
+    plan.crashes.push_back({1, 3, 7});
+    reject(plan);
+  }
+  {
+    FaultPlan plan;  // second window opens inside a permanent one
+    plan.crashes.push_back({2, 1, -1});
+    plan.crashes.push_back({2, 9, 10});
+    reject(plan);
+  }
+  {
+    FaultPlan plan;  // link endpoint out of range
+    plan.link_faults.push_back({0, 9, 0, -1});
+    reject(plan);
+  }
+  {
+    FaultPlan plan;  // self-loop link
+    plan.link_faults.push_back({1, 1, 0, -1});
+    reject(plan);
+  }
+  {
+    FaultPlan plan;  // negative down round
+    plan.link_faults.push_back({0, 1, -1, 2});
+    reject(plan);
+  }
+  {
+    FaultPlan plan;  // up before down
+    plan.link_faults.push_back({0, 1, 5, 3});
+    reject(plan);
+  }
+  {
+    FaultPlan plan;  // overlapping outages of the same undirected link
+    plan.link_faults.push_back({0, 1, 0, 5});
+    plan.link_faults.push_back({1, 0, 3, 8});
+    reject(plan);
+  }
+}
+
+TEST(FaultyChannelTest, LinkFaultDropsBothDirectionsWhileDown) {
+  FaultPlan plan;
+  plan.link_faults.push_back({0, 1, 2, 4});  // link 0-1 down rounds [2, 4)
+  FaultyChannel channel(plan, 4);
+
+  // Round 1: link still up.
+  EXPECT_EQ(channel.transmit({msg(MessageType::kTight, 0, 1)}).size(), 1u);
+
+  // Rounds 2 and 3: both directions dropped; unrelated links unaffected.
+  EXPECT_TRUE(channel.transmit({msg(MessageType::kTight, 0, 1)}).empty());
+  const auto mixed = channel.transmit(
+      {msg(MessageType::kTight, 1, 0), msg(MessageType::kSpan, 2, 3)});
+  ASSERT_EQ(mixed.size(), 1u);
+  EXPECT_EQ(mixed[0].from, 2);
+  EXPECT_EQ(channel.stats().link_dropped, 2);
+  EXPECT_TRUE(channel.alive(0));  // link faults never kill nodes
+  EXPECT_TRUE(channel.alive(1));
+
+  // Round 4: link restored.
+  EXPECT_EQ(channel.transmit({msg(MessageType::kTight, 1, 0)}).size(), 1u);
+  EXPECT_EQ(channel.stats().link_dropped, 2);
+}
+
+TEST(FaultyChannelTest, DelayedDeliveryRespectsLinkOutage) {
+  FaultPlan plan;
+  plan.delay_rate = 1.0;
+  plan.max_delay_rounds = 1;
+  plan.link_faults.push_back({0, 1, 2, -1});  // down from round 2 forever
+  FaultyChannel channel(plan, 4);
+  // Sent on round 1 while the link is up, due on round 2 when it is down:
+  // the in-flight message dies on the severed link.
+  EXPECT_TRUE(channel.transmit({msg(MessageType::kTight, 0, 1)}).empty());
+  EXPECT_TRUE(channel.transmit({}).empty());
+  EXPECT_EQ(channel.stats().link_dropped, 1);
+  EXPECT_EQ(channel.app_in_flight(), 0);
+}
+
 TEST(MessageBusTest, AcksAndRetransmitsBypassTableTwoCounters) {
   MessageBus bus;
   Message m = msg(MessageType::kSpan, 0, 1);

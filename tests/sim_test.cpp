@@ -7,6 +7,7 @@
 #include "graph/generators.h"
 #include "metrics/fairness_stats.h"
 #include "sim/messages.h"
+#include "sim/mobility.h"
 
 namespace faircache::sim {
 namespace {
@@ -22,6 +23,76 @@ core::FairCachingProblem make_problem(const Graph& g, NodeId producer,
   problem.num_chunks = chunks;
   problem.uniform_capacity = capacity;
   return problem;
+}
+
+// --- evaluate_robustness edge cases (the inputs churn produces). ---
+
+TEST(RobustnessEvalTest, DisconnectedSnapshotCountsUnreachablePairs) {
+  // Two components: {0,1} with the producer, {2,3} with a replica of
+  // chunk 0 only. Chunk 1 is unreachable from the far component.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  metrics::CacheState state(4, 2, 0);
+  state.add(2, 0);
+
+  const PlacementRobustness r = evaluate_robustness(g, state, 2);
+  // Pairs: 3 consumers × 2 chunks. Unreachable: (3, chunk reachable via
+  // holder 2) is fine; chunk 1 unreachable from both 2 and 3.
+  EXPECT_EQ(r.pairs, 6);
+  EXPECT_EQ(r.reachable_pairs, 4);
+  EXPECT_DOUBLE_EQ(r.reachable_fraction, 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(r.mean_hops, (1 + 0 + 1 + 1) / 4.0);
+}
+
+TEST(RobustnessEvalTest, EmptyPlacementMeasuresDistanceToProducerAlone) {
+  const Graph g = graph::make_path(4);  // 0-1-2-3, producer at 0
+  metrics::CacheState state(4, 1, 0);
+  const PlacementRobustness r = evaluate_robustness(g, state, 1);
+  EXPECT_EQ(r.pairs, 3);
+  EXPECT_EQ(r.reachable_pairs, 3);
+  EXPECT_DOUBLE_EQ(r.reachable_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_hops, (1 + 2 + 3) / 3.0);
+}
+
+TEST(RobustnessEvalTest, ZeroPairsReportsFullReachability) {
+  // A default CacheState has no nodes and an invalid producer; with an
+  // empty snapshot there is nothing to measure and nothing to crash on.
+  const Graph g(0);
+  const metrics::CacheState state;
+  const PlacementRobustness r = evaluate_robustness(g, state, 3);
+  EXPECT_EQ(r.pairs, 0);
+  EXPECT_DOUBLE_EQ(r.reachable_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_hops, 0.0);
+
+  // Zero chunks on a real graph is equally trivial.
+  const Graph ring = graph::make_ring(5);
+  const metrics::CacheState empty(5, 1, 0);
+  const PlacementRobustness zero = evaluate_robustness(ring, empty, 0);
+  EXPECT_EQ(zero.pairs, 0);
+  EXPECT_DOUBLE_EQ(zero.reachable_fraction, 1.0);
+}
+
+TEST(RobustnessEvalTest, AliveMaskExcludesSourcesConsumersAndRelays) {
+  const Graph g = graph::make_path(4);  // 0-1-2-3, producer at 0
+  metrics::CacheState state(4, 1, 0);
+  state.add(3, 0);
+  std::vector<char> alive = {1, 0, 1, 1};
+
+  // Node 1 is dead: it is not a consumer (2 pairs remain), it cannot relay
+  // (2 is cut off from the producer) — but holder 3 still serves 2.
+  const PlacementRobustness r = evaluate_robustness(g, state, 1, &alive);
+  EXPECT_EQ(r.pairs, 2);
+  EXPECT_EQ(r.reachable_pairs, 2);
+  EXPECT_DOUBLE_EQ(r.mean_hops, (1 + 0) / 2.0);
+
+  // Kill the holder too: its copy no longer counts as a source.
+  alive[3] = 0;
+  const PlacementRobustness gone = evaluate_robustness(g, state, 1, &alive);
+  EXPECT_EQ(gone.pairs, 1);  // only node 2 consumes
+  EXPECT_EQ(gone.reachable_pairs, 0);
+  EXPECT_DOUBLE_EQ(gone.reachable_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(gone.mean_hops, 0.0);
 }
 
 TEST(MessageBusTest, DeliversInSendOrderNextRound) {
