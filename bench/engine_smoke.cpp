@@ -14,11 +14,19 @@
 // contention mode) combination:
 //   3. each combination's placement/objective hash is identical at 1, 2
 //      and 8 threads;
-//   4. kIncremental and kRebuild agree — identical placement hashes and
-//      per-chunk objectives within 1e-9 (they are in fact bit-identical
-//      on these integer-weight instances) for each Steiner engine.
+//   4. kIncremental, kRebuild and kSparse (unbounded radius) agree —
+//      identical placement hashes and per-chunk objectives within 1e-9
+//      (they are in fact bit-identical on these connected integer-weight
+//      instances) for each Steiner engine.
+//
+// Plus one 100k-node kSparse smoke run asserting the sparse engine's
+// memory budget: the run must finish without degrading to the greedy
+// fallback and peak RSS must stay below 2 GB (the dense matrix alone
+// would need ~80 GB, so a dense-matrix regression cannot land silently).
 //
 // Exits non-zero on any violation, printing the offending fixture.
+
+#include <sys/resource.h>
 
 #include <bit>
 #include <cmath>
@@ -130,14 +138,15 @@ int check_end_to_end(const Fixture& f) {
   const steiner::Engine engines[2] = {steiner::Engine::kClosureKmb,
                                       steiner::Engine::kVoronoi};
   const char* engine_name[2] = {"kClosureKmb", "kVoronoi"};
-  const core::ContentionMode modes[2] = {core::ContentionMode::kRebuild,
-                                         core::ContentionMode::kIncremental};
-  const char* mode_name[2] = {"kRebuild", "kIncremental"};
+  const core::ContentionMode modes[3] = {core::ContentionMode::kRebuild,
+                                         core::ContentionMode::kIncremental,
+                                         core::ContentionMode::kSparse};
+  const char* mode_name[3] = {"kRebuild", "kIncremental", "kSparse"};
 
   for (int e = 0; e < 2; ++e) {
-    std::uint64_t mode_hash[2] = {0, 0};
-    core::FairCachingResult mode_result[2];
-    for (int m = 0; m < 2; ++m) {
+    std::uint64_t mode_hash[3] = {0, 0, 0};
+    core::FairCachingResult mode_result[3];
+    for (int m = 0; m < 3; ++m) {
       std::uint64_t hash1 = 0;
       for (const int threads : {1, 2, 8}) {
         core::ApproxConfig config;
@@ -166,28 +175,94 @@ int check_end_to_end(const Fixture& f) {
                   static_cast<unsigned long long>(hash1));
     }
     // Cross-mode agreement: same placements, per-chunk objectives within
-    // 1e-9 (the contention engines are bit-identical on integer weights,
-    // so in practice the hashes — objective bits included — match).
-    if (mode_hash[0] != mode_hash[1]) {
-      std::printf("FAIL %s appx %s: contention modes disagree "
-                  "(%016llx vs %016llx)\n",
-                  f.name.c_str(), engine_name[e],
-                  static_cast<unsigned long long>(mode_hash[0]),
-                  static_cast<unsigned long long>(mode_hash[1]));
-      ++failures;
-    }
-    for (std::size_t c = 0; c < mode_result[0].placements.size() &&
-                            c < mode_result[1].placements.size();
-         ++c) {
-      const double a = mode_result[0].placements[c].solver_objective;
-      const double b = mode_result[1].placements[c].solver_objective;
-      if (std::abs(a - b) > 1e-9) {
-        std::printf("FAIL %s appx %s chunk %zu: objectives diverge "
-                    "(%.12f vs %.12f)\n",
-                    f.name.c_str(), engine_name[e], c, a, b);
+    // 1e-9 (the contention engines are bit-identical on integer weights
+    // and these connected fixtures, so in practice the hashes — objective
+    // bits included — match).
+    for (int m = 1; m < 3; ++m) {
+      if (mode_hash[0] != mode_hash[m]) {
+        std::printf("FAIL %s appx %s: %s disagrees with kRebuild "
+                    "(%016llx vs %016llx)\n",
+                    f.name.c_str(), engine_name[e], mode_name[m],
+                    static_cast<unsigned long long>(mode_hash[m]),
+                    static_cast<unsigned long long>(mode_hash[0]));
         ++failures;
       }
+      for (std::size_t c = 0; c < mode_result[0].placements.size() &&
+                              c < mode_result[m].placements.size();
+           ++c) {
+        const double a = mode_result[0].placements[c].solver_objective;
+        const double b = mode_result[m].placements[c].solver_objective;
+        if (std::abs(a - b) > 1e-9) {
+          std::printf("FAIL %s appx %s %s chunk %zu: objectives diverge "
+                      "(%.12f vs %.12f)\n",
+                      f.name.c_str(), engine_name[e], mode_name[m], c, a, b);
+          ++failures;
+        }
+      }
     }
+  }
+  return failures;
+}
+
+// Sparse-engine memory smoke: a 100k-node connected ER instance (mean
+// degree ≈ 6) solved end to end under kSparse with a 2-hop radius. The
+// dense n² matrix would need ~80 GB here; the check pins the sparse
+// engine's budget at 2 GB peak RSS and requires every chunk to get a real
+// ConFL solve (no silent greedy degradation). Returns failure count.
+int check_sparse_scale() {
+  int failures = 0;
+  const int n = 100000;
+  util::Rng rng(7001);
+  graph::Graph g = graph::make_erdos_renyi(n, 6.0 / n, rng);
+  // Stitch stray components onto component 0 so the problem validates.
+  const std::vector<int> labels = g.component_labels();
+  int components = 0;
+  for (int label : labels) components = std::max(components, label + 1);
+  std::vector<NodeId> rep(static_cast<std::size_t>(components),
+                          graph::kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& r = rep[static_cast<std::size_t>(labels[v])];
+    if (r == graph::kInvalidNode) r = v;
+  }
+  for (int c = 1; c < components; ++c) {
+    g.add_edge(rep[0], rep[static_cast<std::size_t>(c)]);
+  }
+
+  core::FairCachingProblem problem;
+  problem.network = &g;
+  problem.producer = 0;
+  problem.num_chunks = 2;
+  problem.uniform_capacity = 5;
+
+  core::ApproxConfig config;
+  config.instance.contention_mode = core::ContentionMode::kSparse;
+  config.instance.contention_radius = 2;
+  core::SolveReport report;
+  auto result = core::ApproxFairCaching(config).solve(
+      problem, util::RunBudget::unlimited(), &report);
+  if (!result.ok()) {
+    std::printf("FAIL sparse100k: solve failed (%s)\n",
+                result.status().message().c_str());
+    return 1;
+  }
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  const double rss_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+  const std::uint64_t h = run_hash(result.value());
+  std::printf("%-18s appx kSparse r=2   hash=%016llx rss=%.0fMB\n",
+              "er100k_deg6", static_cast<unsigned long long>(h), rss_mb);
+  if (report.chunks_solved() != report.chunks_total) {
+    std::printf("FAIL sparse100k: %d of %d chunks degraded to the greedy "
+                "fallback\n",
+                static_cast<int>(report.degraded_chunks.size()),
+                report.chunks_total);
+    ++failures;
+  }
+  if (rss_mb >= 2048.0) {
+    std::printf("FAIL sparse100k: peak RSS %.0f MB breaches the 2 GB "
+                "sparse-engine budget\n",
+                rss_mb);
+    ++failures;
   }
   return failures;
 }
@@ -237,6 +312,7 @@ int main() {
     }
     failures += check_end_to_end(f);
   }
+  failures += check_sparse_scale();
   if (failures != 0) {
     std::printf("engine_smoke: %d failure(s)\n", failures);
     return 1;

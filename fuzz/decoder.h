@@ -70,7 +70,7 @@ inline void decode_problem(const std::uint8_t* data, std::size_t size,
   }
 
   // Solver options: positive steps, small span thresholds, both growth
-  // modes, both Steiner engines, both contention modes. Single-threaded —
+  // modes, both Steiner engines, every contention mode. Single-threaded —
   // fuzz iterations must stay cheap.
   const std::uint8_t opt = in.u8();
   out.config.confl.growth = (opt & 0x1) != 0
@@ -89,6 +89,17 @@ inline void decode_problem(const std::uint8_t* data, std::size_t size,
   out.config.instance.contention_mode =
       (span_byte & 0x80) != 0 ? core::ContentionMode::kRebuild
                               : core::ContentionMode::kIncremental;
+  // The sparse byte drives the sparse contention engine: its low two bits
+  // escalate the mode (1 → kSparse, 2 → kAuto, else the span byte's
+  // choice stands), the remaining six are the truncation radius — 0
+  // (unbounded) through 63, far past any 32-node diameter.
+  const std::uint8_t sparse_byte = in.u8();
+  if ((sparse_byte & 0x3) == 1) {
+    out.config.instance.contention_mode = core::ContentionMode::kSparse;
+  } else if ((sparse_byte & 0x3) == 2) {
+    out.config.instance.contention_mode = core::ContentionMode::kAuto;
+  }
+  out.config.instance.contention_radius = sparse_byte >> 2;
   out.config.confl.threads = 1;
   out.config.instance.threads = 1;
 

@@ -1,6 +1,7 @@
 #include "confl/confl.h"
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -29,11 +30,30 @@ util::Status validate_confl_instance(const ConflInstance& instance) {
   if (static_cast<int>(instance.facility_cost.size()) != n) {
     return Status::invalid_input("facility cost size mismatch");
   }
-  if (static_cast<int>(instance.assign_cost.rows()) != n) {
-    return Status::invalid_input("assignment cost rows mismatch");
-  }
-  if (static_cast<int>(instance.assign_cost.cols()) != n) {
-    return Status::invalid_input("assignment cost columns mismatch");
+  if (instance.sparse()) {
+    if (instance.assign_cost.rows() != 0) {
+      return Status::invalid_input(
+          "instance sets both dense and sparse assignment costs");
+    }
+    const metrics::SparseContention& s = instance.sparse_cost;
+    if (s.num_nodes != n) {
+      return Status::invalid_input("sparse cost node count mismatch");
+    }
+    if (static_cast<int>(s.row_offset.size()) != n + 1) {
+      return Status::invalid_input("sparse cost row offsets mismatch");
+    }
+    if (s.row_offset.back() !=
+            static_cast<std::int64_t>(s.packed.size()) ||
+        s.packed.size() != s.cost.size()) {
+      return Status::invalid_input("sparse cost row data mismatch");
+    }
+  } else {
+    if (static_cast<int>(instance.assign_cost.rows()) != n) {
+      return Status::invalid_input("assignment cost rows mismatch");
+    }
+    if (static_cast<int>(instance.assign_cost.cols()) != n) {
+      return Status::invalid_input("assignment cost columns mismatch");
+    }
   }
   if (static_cast<int>(instance.edge_cost.size()) !=
       instance.network->num_edges()) {
@@ -85,20 +105,57 @@ void check_options(const ConflOptions& options) {
                "validate_confl_options(options).ok()");
 }
 
+// A (facility, client) pair's position in its cost store: i*n + j for the
+// dense matrix, the CSR entry index for the sparse store. Dual state keyed
+// per pair (γ, tight lists, event arrays) is indexed by slot, so both
+// representations share one engine.
+using Slot = std::int64_t;
+
+// The two cost-row views the growth engine is templated over. Contract:
+// row slots [row_begin(i), row_end(i)) ascend with client id, so slot
+// iteration preserves the reference engine's ascending-client
+// floating-point accumulation order.
+struct DenseRows {
+  const double* c;  // n×n row-major
+  Slot n;
+  static constexpr bool kDense = true;
+  Slot pairs() const { return n * n; }
+  Slot row_begin(NodeId i) const { return static_cast<Slot>(i) * n; }
+  Slot row_end(NodeId i) const { return (static_cast<Slot>(i) + 1) * n; }
+  double cost(Slot s) const { return c[s]; }
+  NodeId col(Slot s, Slot rb) const { return static_cast<NodeId>(s - rb); }
+};
+
+struct SparseRows {
+  const metrics::SparseContention* s;  // pairs absent from rows are +inf
+  static constexpr bool kDense = false;
+  Slot pairs() const { return static_cast<Slot>(s->packed.size()); }
+  Slot row_begin(NodeId i) const { return s->row_begin(i); }
+  Slot row_end(NodeId i) const { return s->row_end(i); }
+  double cost(Slot t) const { return s->cost[static_cast<std::size_t>(t)]; }
+  NodeId col(Slot t, Slot /*rb*/) const {
+    return metrics::SparseContention::col_of(
+        s->packed[static_cast<std::size_t>(t)]);
+  }
+};
+
+template <typename Rows>
 int derive_max_rounds(const ConflInstance& instance,
-                      const ConflOptions& options) {
+                      const ConflOptions& options, const Rows& rows) {
   if (options.max_rounds != 0) return options.max_rounds;
   const int n = instance.network->num_nodes();
   if (options.growth == GrowthMode::kEventDriven) {
-    return 2 * n * n + 4 * n + 16;
+    // Computed wide: the quadratic bound overflows int from n ≈ 33k.
+    const long long bound = 2LL * n * n + 4LL * n + 16;
+    return bound > INT_MAX ? INT_MAX : static_cast<int>(bound);
   }
   // Fixed step: α only needs to reach the cost of connecting straight to
   // the root, after which every client freezes.
   double worst = 0.0;
-  const double* root_row = instance.assign_cost[
-      static_cast<std::size_t>(instance.root)];
-  for (NodeId j = 0; j < n; ++j) {
-    const double to_root = root_row[j];
+  const Slot rb = rows.row_begin(instance.root);
+  const Slot re = rows.row_end(instance.root);
+  for (Slot s = rb; s < re; ++s) {
+    const double to_root = rows.cost(s);
     if (to_root != kInfCost) worst = std::max(worst, to_root);
   }
   return static_cast<int>(std::ceil(worst / options.alpha_step)) + 2;
@@ -108,14 +165,15 @@ int derive_max_rounds(const ConflInstance& instance,
 // re-assignment) and fills the cost fields of `solution`. `admins` is
 // consumed (sorted in place). Non-OK when the budget expires mid-phase or
 // the ADMIN set cannot be connected to the root.
+template <typename Rows>
 util::Status finish_solution(const ConflInstance& instance,
                              const ConflOptions& options,
                              const util::RunBudget& budget,
-                             std::vector<NodeId>& admins,
+                             std::vector<NodeId>& admins, const Rows& rows,
                              ConflSolution& solution) {
   const int n = instance.network->num_nodes();
+  const auto un = static_cast<std::size_t>(n);
   const NodeId root = instance.root;
-  const auto& c = instance.assign_cost;
   auto weight = [&](NodeId j) {
     return instance.client_weight.empty()
                ? 1.0
@@ -146,22 +204,35 @@ util::Status finish_solution(const ConflInstance& instance,
 
   // Final assignment: cheapest facility in A ∪ {root} (never worse than the
   // dual-growth assignment). The min is folded facility-by-facility so the
-  // scan walks whole matrix rows (cache-linear) instead of columns; each
+  // scan walks whole cost rows (cache-linear) instead of columns; each
   // client sees the facilities in the same ascending order either way, so
   // every (best, best_i) update — and the weighted cost sum below — is the
-  // per-client loop's, comparison for comparison.
-  const double* root_row = c[static_cast<std::size_t>(root)];
-  std::vector<double> best(root_row, root_row + n);
-  std::vector<NodeId> best_i(static_cast<std::size_t>(n), root);
+  // per-client loop's, comparison for comparison. The sparse fold visits
+  // only a row's materialized clients: absent pairs cost +inf, and an
+  // all-+inf tie keeps the root — a client out of every open facility's
+  // radius stays root-assigned.
+  std::vector<double> best;
+  std::vector<NodeId> best_i(un, root);
+  if constexpr (Rows::kDense) {
+    const double* root_row = rows.c + rows.row_begin(root);
+    best.assign(root_row, root_row + n);
+  } else {
+    best.assign(un, kInfCost);
+    const Slot rb = rows.row_begin(root);
+    const Slot re = rows.row_end(root);
+    for (Slot s = rb; s < re; ++s) {
+      best[static_cast<std::size_t>(rows.col(s, rb))] = rows.cost(s);
+    }
+  }
   for (NodeId i : admins) {
-    const double* row = c[static_cast<std::size_t>(i)];
-    for (NodeId j = 0; j < n; ++j) {
-      const double cij = row[j];
-      if (cij < best[static_cast<std::size_t>(j)] ||
-          (cij == best[static_cast<std::size_t>(j)] &&
-           i < best_i[static_cast<std::size_t>(j)])) {
-        best[static_cast<std::size_t>(j)] = cij;
-        best_i[static_cast<std::size_t>(j)] = i;
+    const Slot rb = rows.row_begin(i);
+    const Slot re = rows.row_end(i);
+    for (Slot s = rb; s < re; ++s) {
+      const auto j = static_cast<std::size_t>(rows.col(s, rb));
+      const double cij = rows.cost(s);
+      if (cij < best[j] || (cij == best[j] && i < best_i[j])) {
+        best[j] = cij;
+        best_i[j] = i;
       }
     }
   }
@@ -176,28 +247,30 @@ util::Status finish_solution(const ConflInstance& instance,
 // Ascending-order weight sum over a facility's tight unfrozen clients —
 // the β payment rate. Both growth engines accumulate in this exact order,
 // so the payment-completion deltas below agree bitwise.
-template <typename WeightFn>
-double tight_rate(const std::vector<NodeId>& tight, const WeightFn& weight) {
+template <typename Rows, typename WeightFn>
+double tight_rate(const std::vector<Slot>& tight, Slot rb, const Rows& rows,
+                  const WeightFn& weight) {
   double rate = 0.0;
-  for (NodeId j : tight) rate += weight(j);
+  for (Slot s : tight) rate += weight(rows.col(s, rb));
   return rate;
 }
 
 // One facility's next-event candidate, shared by the active-set engine
 // (solve_confl) and the dense reference (solve_confl_reference): while f_i
 // is uncovered, the time until payments complete; afterwards, the time
-// until the M-th SPAN request. `tight` must hold the facility's tight
-// unfrozen clients in ascending id order, `rate` must equal
-// tight_rate(tight, weight) (callers may reuse a cached value only when it
-// is bitwise equal to that re-sum), and `pending` is caller scratch.
-// Returns kInfCost when the facility contributes no event and 0.0 when an
-// opening is already due. The two engines once carried drifted copies of
-// this arithmetic; it must live in exactly one place, because their deltas
-// have to agree bit for bit.
-template <typename WeightFn>
+// until the M-th SPAN request. `tight` must hold the slots of the
+// facility's tight unfrozen clients in ascending client order, `rate` must
+// equal tight_rate(tight, ...) (callers may reuse a cached value only when
+// it is bitwise equal to that re-sum), `gamma` is the flat slot-indexed γ
+// array, and `pending` is caller scratch. Returns kInfCost when the
+// facility contributes no event and 0.0 when an opening is already due.
+// The two engines once carried drifted copies of this arithmetic; it must
+// live in exactly one place, because their deltas have to agree bit for
+// bit.
+template <typename Rows, typename WeightFn>
 double facility_event_delta(double fi, double paid_i, double rate,
-                            const std::vector<NodeId>& tight,
-                            const double* cost_row, const double* gamma_row,
+                            const std::vector<Slot>& tight, Slot rb,
+                            const Rows& rows, const double* gamma,
                             const WeightFn& weight, double beta_rate,
                             double gamma_rate, int span_threshold,
                             std::vector<double>& pending) {
@@ -210,13 +283,13 @@ double facility_event_delta(double fi, double paid_i, double rate,
   // M-th SPAN.
   int spans = 0;
   pending.clear();
-  for (NodeId j : tight) {
-    const double gij = gamma_row[j];
-    const double cij = cost_row[j];
+  for (Slot s : tight) {
+    const double gij = gamma[s];
+    const double cij = rows.cost(s);
     if (gij + 1e-12 >= cij) {
       ++spans;
-    } else if (weight(j) > 0) {
-      pending.push_back((cij - gij) / (weight(j) * gamma_rate));
+    } else if (const double w = weight(rows.col(s, rb)); w > 0) {
+      pending.push_back((cij - gij) / (w * gamma_rate));
     }
   }
   const int needed = span_threshold - spans;
@@ -229,48 +302,37 @@ double facility_event_delta(double fi, double paid_i, double rate,
   return kInfCost;
 }
 
-}  // namespace
-
-// The active-set engine. Semantics (and bit-for-bit arithmetic) match
-// solve_confl_reference below; the data structures differ:
+// The active-set engine, templated over the cost-row view. Semantics (and
+// bit-for-bit arithmetic) match solve_confl_reference; the data structures
+// differ:
 //
 //   * Every unfrozen client has the same α (all grow by the same delta from
 //     0), so one scalar A replaces the per-client vector, and "client j is
 //     tight with facility i" is the monotone predicate A + 1e-12 ≥ c_ij.
 //   * `active` / `openable` are compacted id lists, so finished clients and
 //     opened facilities cost nothing in later rounds.
-//   * Each openable facility keeps the ascending-id list of its tight
-//     unfrozen clients, extended by tight *events* instead of per-round
-//     rescans: fixed-step mode buckets each (i, j) pair by the round where
-//     it first becomes tight (binary search over the exact α sequence,
-//     computed lazily up to a doubling horizon so far-away pairs are never
-//     bucketed); event-driven mode keeps per-facility (c, j)-sorted arrays
-//     with monotone cursors.
+//   * Each openable facility keeps the ascending list of its tight unfrozen
+//     pair slots, extended by tight *events* instead of per-round rescans:
+//     fixed-step mode buckets each pair by the round where it first becomes
+//     tight (binary search over the exact α sequence, computed lazily up to
+//     a doubling horizon so far-away pairs are never bucketed);
+//     event-driven mode keeps per-facility (c, slot)-sorted arrays with
+//     monotone cursors.
 //   * Freezing onto open facilities uses an incrementally-maintained
 //     cheapest-open-facility (c, i) per client, updated on each opening.
 //
-// Payments still walk tight clients in ascending (facility, client) order,
+// Payments still walk tight slots in ascending (facility, client) order,
 // which keeps every floating-point accumulation in the reference order.
-ConflSolution solve_confl(const ConflInstance& instance,
-                          const ConflOptions& options) {
-  util::Result<ConflSolution> result = try_solve_confl(instance, options);
-  if (!result.ok()) {
-    util::check_failed("try_solve_confl(...).ok()", __FILE__, __LINE__,
-                       result.status().message());
-  }
-  return std::move(result).value();
-}
-
-util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
-                                            const ConflOptions& options,
-                                            const util::RunBudget& budget) {
-  if (util::Status s = validate_confl_instance(instance); !s.ok()) return s;
-  if (util::Status s = validate_confl_options(options); !s.ok()) return s;
-
+// Under SparseRows every loop that walked a dense row walks the row's
+// candidate list instead, so a round costs O(materialized active pairs).
+template <typename Rows>
+util::Result<ConflSolution> try_solve_confl_impl(const ConflInstance& instance,
+                                                 const ConflOptions& options,
+                                                 const util::RunBudget& budget,
+                                                 const Rows& rows) {
   const int n = instance.network->num_nodes();
   const auto un = static_cast<std::size_t>(n);
   const NodeId root = instance.root;
-  const auto& c = instance.assign_cost;
   auto weight = [&](NodeId j) {
     return instance.client_weight.empty()
                ? 1.0
@@ -289,12 +351,15 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
   std::vector<double> paid(un, 0.0);
 
   // Dual variables: the shared α of all unfrozen clients, plus γ per
-  // (facility, client). β is kept only in aggregate (`paid` holds Σ_j β_ij):
-  // no step ever reads an individual β_ij — the reference's "contributed
-  // (β_ij > 0)" freeze clause is subsumed by tightness, since β only grows
-  // for tight clients and tightness is monotone.
+  // materialized (facility, client) slot. β is kept only in aggregate
+  // (`paid` holds Σ_j β_ij): no step ever reads an individual β_ij — the
+  // reference's "contributed (β_ij > 0)" freeze clause is subsumed by
+  // tightness, since β only grows for tight clients and tightness is
+  // monotone.
   double alpha = 0.0;
-  util::Matrix<double> gamma(un, un, 0.0);
+  std::vector<double> gamma_store(static_cast<std::size_t>(rows.pairs()),
+                                  0.0);
+  double* gamma = gamma_store.data();
 
   // Active client list (ascending, compacted after freezes).
   std::vector<NodeId> active;
@@ -314,27 +379,31 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
   }
 
   // Cheapest open facility per client, lex-min on (cost, id); seeded with
-  // the pre-opened root. A client freezes exactly when α reaches it.
-  std::vector<double> best_open_c(un);
+  // the pre-opened root (clients outside a sparse root row sit at +inf —
+  // they can only freeze once some facility with them in radius opens).
+  std::vector<double> best_open_c(un, kInfCost);
   std::vector<NodeId> best_open_i(un, root);
   {
-    const double* root_row = c[static_cast<std::size_t>(root)];
-    std::copy(root_row, root_row + un, best_open_c.begin());
+    const Slot rb = rows.row_begin(root);
+    const Slot re = rows.row_end(root);
+    for (Slot s = rb; s < re; ++s) {
+      best_open_c[static_cast<std::size_t>(rows.col(s, rb))] = rows.cost(s);
+    }
   }
 
-  // tight[i]: ascending ids of clients tight with openable facility i.
+  // tight[i]: ascending slots of clients tight with openable facility i.
   // Frozen entries are skipped (and compacted away) lazily.
-  std::vector<std::vector<NodeId>> tight(un);
+  std::vector<std::vector<Slot>> tight(un);
 
-  const int max_rounds = derive_max_rounds(instance, options);
+  const int max_rounds = derive_max_rounds(instance, options, rows);
   const double beta_rate = options.beta_step / options.alpha_step;
   const double gamma_rate = options.gamma_step / options.alpha_step;
   const bool event = options.growth == GrowthMode::kEventDriven;
 
   // Appends entries [mid, end) of `tl` (sorted, disjoint from the prefix)
   // into sorted position. Almost always a plain append; merge otherwise.
-  std::vector<NodeId> merge_scratch;
-  auto merge_tight_tail = [&](std::vector<NodeId>& tl, std::size_t mid) {
+  std::vector<Slot> merge_scratch;
+  auto merge_tight_tail = [&](std::vector<Slot>& tl, std::size_t mid) {
     if (mid == 0 || mid == tl.size() || tl[mid - 1] < tl[mid]) return;
     merge_scratch.resize(tl.size());
     std::merge(tl.begin(), tl.begin() + static_cast<std::ptrdiff_t>(mid),
@@ -346,12 +415,12 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
   // ---- Fixed-step tight-event scheduler ----------------------------------
   // a_seq[k] is α after k growth rounds, computed by the same repeated
   // addition the reference performs (so every comparison sees the exact
-  // same value). bucket[k] holds the (i, j) pairs that first satisfy
-  // a_seq[k] + 1e-12 ≥ c_ij, in lex order; far[i] holds the clients of i
+  // same value). bucket[k] holds the (i, slot) pairs that first satisfy
+  // a_seq[k] + 1e-12 ≥ c_ij, in lex order; far[i] holds the slots of i
   // whose tight round lies beyond the current horizon.
   std::vector<double> a_seq;
-  std::vector<std::vector<std::pair<NodeId, NodeId>>> bucket;
-  std::vector<std::vector<NodeId>> far;
+  std::vector<std::vector<std::pair<NodeId, Slot>>> bucket;
+  std::vector<std::vector<Slot>> far;
   int horizon = -1;
 
   auto extend_horizon = [&](int target) {
@@ -365,7 +434,7 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
     const double reach = a_seq[static_cast<std::size_t>(horizon)] + 1e-12;
     // First k in (old, horizon] with a_seq[k] + 1e-12 ≥ c_ij; the predicate
     // is monotone because a_seq is non-decreasing.
-    auto schedule = [&](NodeId i, NodeId j, double cij) {
+    auto schedule = [&](NodeId i, Slot s, double cij) {
       int lo = old + 1;
       int hi = horizon;
       while (lo < hi) {
@@ -376,7 +445,7 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
           lo = mid + 1;
         }
       }
-      bucket[static_cast<std::size_t>(lo)].emplace_back(i, j);
+      bucket[static_cast<std::size_t>(lo)].emplace_back(i, s);
     };
     if (old < 0) {
       // Initial pass: split each cost row directly into near-term buckets
@@ -384,17 +453,19 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
       // far list first.
       far.resize(un);
       for (NodeId i : openable) {
-        const double* row = c[static_cast<std::size_t>(i)];
+        const Slot rb = rows.row_begin(i);
+        const Slot re = rows.row_end(i);
         auto& fr = far[static_cast<std::size_t>(i)];
-        for (NodeId j = 0; j < n; ++j) {
-          const double cij = row[j];
-          if (cij == kInfCost || frozen[static_cast<std::size_t>(j)]) {
+        for (Slot s = rb; s < re; ++s) {
+          const double cij = rows.cost(s);
+          if (cij == kInfCost ||
+              frozen[static_cast<std::size_t>(rows.col(s, rb))]) {
             continue;
           }
           if (cij <= reach) {
-            schedule(i, j, cij);
+            schedule(i, s, cij);
           } else {
-            fr.push_back(j);
+            fr.push_back(s);
           }
         }
       }
@@ -403,15 +474,15 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
     for (NodeId i : openable) {
       auto& fr = far[static_cast<std::size_t>(i)];
       if (fr.empty()) continue;
-      const double* row = c[static_cast<std::size_t>(i)];
+      const Slot rb = rows.row_begin(i);
       std::size_t out = 0;
-      for (NodeId j : fr) {
-        if (frozen[static_cast<std::size_t>(j)]) continue;
-        const double cij = row[j];
+      for (Slot s : fr) {
+        if (frozen[static_cast<std::size_t>(rows.col(s, rb))]) continue;
+        const double cij = rows.cost(s);
         if (cij <= reach) {
-          schedule(i, j, cij);
+          schedule(i, s, cij);
         } else {
-          fr[out++] = j;
+          fr[out++] = s;
         }
       }
       fr.resize(out);
@@ -426,10 +497,12 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
       std::size_t q = p;
       while (q < b.size() && b[q].first == i) ++q;
       if (!open[static_cast<std::size_t>(i)]) {
+        const Slot rb = rows.row_begin(i);
         auto& tl = tight[static_cast<std::size_t>(i)];
         const std::size_t mid = tl.size();
         for (std::size_t t = p; t < q; ++t) {
-          if (!frozen[static_cast<std::size_t>(b[t].second)]) {
+          if (!frozen[static_cast<std::size_t>(
+                  rows.col(b[t].second, rb))]) {
             tl.push_back(b[t].second);
           }
         }
@@ -441,12 +514,14 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
   };
 
   // ---- Event-driven tight-event scheduler --------------------------------
-  // Per-facility (c, j)-sorted pair arrays with two monotone cursors:
+  // Per-facility (c, slot)-sorted pair arrays with two monotone cursors:
   // tight_ptr walks pairs as they satisfy α + 1e-12 ≥ c (feeding the tight
   // lists), delta_ptr walks pairs with c ≤ α or a frozen client, leaving it
-  // on the facility's next tightness-event candidate.
+  // on the facility's next tightness-event candidate. Slot order within a
+  // row is client order, so equal-cost ties sort exactly as the (c, j)
+  // pairs of the pre-slot engine did.
   struct EventList {
-    std::vector<std::pair<double, NodeId>> byc;
+    std::vector<std::pair<double, Slot>> byc;
     std::size_t tight_ptr = 0;
     std::size_t delta_ptr = 0;
   };
@@ -479,16 +554,18 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
   // openable facilities ever open.
   std::vector<NodeId> tracked;
 
-  std::vector<NodeId> newly;
+  std::vector<Slot> newly;
   auto advance_tight_lists = [&]() {
     for (NodeId i : openable) {
       auto& ev = events[static_cast<std::size_t>(i)];
       std::size_t& p = ev.tight_ptr;
       const auto& arr = ev.byc;
       if (p >= arr.size() || alpha + 1e-12 < arr[p].first) continue;
+      const Slot rb = rows.row_begin(i);
       newly.clear();
       while (p < arr.size() && alpha + 1e-12 >= arr[p].first) {
-        if (!frozen[static_cast<std::size_t>(arr[p].second)]) {
+        if (!frozen[static_cast<std::size_t>(
+                rows.col(arr[p].second, rb))]) {
           newly.push_back(arr[p].second);
         }
         ++p;
@@ -508,10 +585,10 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
   // FP expressions are those of the reference (via facility_event_delta);
   // min() over them is order-insensitive, so the heap-ordered tightness
   // candidate and per-facility sorted scans give the same value.
-  auto compact_tight = [&](std::vector<NodeId>& tl) {
+  auto compact_tight = [&](std::vector<Slot>& tl, Slot rb) {
     std::size_t out = 0;
-    for (NodeId j : tl) {
-      if (!frozen[static_cast<std::size_t>(j)]) tl[out++] = j;
+    for (Slot s : tl) {
+      if (!frozen[static_cast<std::size_t>(rows.col(s, rb))]) tl[out++] = s;
     }
     tl.resize(out);
   };
@@ -525,9 +602,11 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
       auto& ev = events[static_cast<std::size_t>(i)];
       std::size_t& p = ev.delta_ptr;
       const auto& arr = ev.byc;
+      const Slot rb = rows.row_begin(i);
       while (p < arr.size() &&
              (arr[p].first <= alpha ||
-              frozen[static_cast<std::size_t>(arr[p].second)])) {
+              frozen[static_cast<std::size_t>(
+                  rows.col(arr[p].second, rb))])) {
         ++p;
       }
       if (p >= arr.size()) {  // facility has no tightness events left
@@ -544,6 +623,7 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
     }
     for (NodeId i : openable) {
       auto& tl = tight[static_cast<std::size_t>(i)];
+      const Slot rb = rows.row_begin(i);
       const double fi = instance.facility_cost[static_cast<std::size_t>(i)];
       const double pi = paid[static_cast<std::size_t>(i)];
       double rate = 0.0;
@@ -552,20 +632,20 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
         // valid stamp implies no freeze since the cached sum, so the list
         // holds no frozen members and compaction would be a no-op.
         if (rate_stamp[static_cast<std::size_t>(i)] != stamp) {
-          compact_tight(tl);
-          cached_rate[static_cast<std::size_t>(i)] = tight_rate(tl, weight);
+          compact_tight(tl, rb);
+          cached_rate[static_cast<std::size_t>(i)] =
+              tight_rate(tl, rb, rows, weight);
           rate_stamp[static_cast<std::size_t>(i)] = stamp;
         }
         rate = cached_rate[static_cast<std::size_t>(i)];
       } else {
         // SPAN phase: γ moves every round, so this walk cannot be cached.
-        compact_tight(tl);
+        compact_tight(tl, rb);
       }
       delta = std::min(
-          delta, facility_event_delta(
-                     fi, pi, rate, tl, c[static_cast<std::size_t>(i)],
-                     gamma[static_cast<std::size_t>(i)], weight, beta_rate,
-                     gamma_rate, options.span_threshold, pending));
+          delta, facility_event_delta(fi, pi, rate, tl, rb, rows, gamma,
+                                      weight, beta_rate, gamma_rate,
+                                      options.span_threshold, pending));
     }
     if (delta == kInfCost) delta = 0.0;  // nothing to wait for
     return std::max(delta, 0.0);
@@ -581,17 +661,19 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
         tracked.push_back(i);
       }
     }
-    // Building the sorted pair arrays is the one O(n² log n) step; rows
+    // Building the sorted pair arrays is the one O(pairs log n) step; rows
     // are independent, so build them in parallel.
     util::parallel_for(
         tracked.size(),
         [&](std::size_t t) {
           const NodeId i = tracked[t];
           auto& arr = events[static_cast<std::size_t>(i)].byc;
-          const double* row = c[static_cast<std::size_t>(i)];
-          arr.reserve(un);
-          for (NodeId j = 0; j < n; ++j) {
-            if (row[j] != kInfCost) arr.emplace_back(row[j], j);
+          const Slot rb = rows.row_begin(i);
+          const Slot re = rows.row_end(i);
+          arr.reserve(static_cast<std::size_t>(re - rb));
+          for (Slot s = rb; s < re; ++s) {
+            const double cij = rows.cost(s);
+            if (cij != kInfCost) arr.emplace_back(cij, s);
           }
           std::sort(arr.begin(), arr.end());
         },
@@ -667,14 +749,15 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
       for (NodeId i : openable) {
         auto& tl = tight[static_cast<std::size_t>(i)];
         if (tl.empty()) continue;
+        const Slot rb = rows.row_begin(i);
         const double fi =
             instance.facility_cost[static_cast<std::size_t>(i)];
         double& pi = paid[static_cast<std::size_t>(i)];
-        double* grow = gamma[static_cast<std::size_t>(i)];
         std::size_t out = 0;
-        for (NodeId j : tl) {
+        for (Slot s : tl) {
+          const NodeId j = rows.col(s, rb);
           if (frozen[static_cast<std::size_t>(j)]) continue;
-          tl[out++] = j;
+          tl[out++] = s;
           if (pi + 1e-12 < fi) {
             const double pay =
                 std::min(weight(j) * beta_rate * delta, fi - pi);
@@ -682,7 +765,7 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
           } else {
             // Demand-weighted clients raise relay bids faster, pulling
             // facilities toward demand hot-spots.
-            grow[j] += weight(j) * gamma_rate * delta;
+            gamma[s] += weight(j) * gamma_rate * delta;
           }
         }
         tl.resize(out);
@@ -701,14 +784,13 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
       const double fi = instance.facility_cost[static_cast<std::size_t>(i)];
       if (paid[static_cast<std::size_t>(i)] + 1e-12 < fi) continue;
       auto& tl = tight[static_cast<std::size_t>(i)];
-      const double* grow = gamma[static_cast<std::size_t>(i)];
-      const double* row = c[static_cast<std::size_t>(i)];
+      const Slot rb = rows.row_begin(i);
       int spans = 0;
       std::size_t out = 0;
-      for (NodeId j : tl) {
-        if (frozen[static_cast<std::size_t>(j)]) continue;
-        tl[out++] = j;
-        if (grow[j] + 1e-12 >= row[j]) ++spans;
+      for (Slot s : tl) {
+        if (frozen[static_cast<std::size_t>(rows.col(s, rb))]) continue;
+        tl[out++] = s;
+        if (gamma[s] + 1e-12 >= rows.cost(s)) ++spans;
       }
       tl.resize(out);
       if (spans < options.span_threshold) continue;
@@ -720,17 +802,38 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
       // tracking, then freeze everyone tight with the new ADMIN. (A client
       // with β_ij > 0 is necessarily tight, so the reference's
       // "tight or contributed" freeze set is exactly the tight list.)
-      for (NodeId j : active) {
-        if (frozen[static_cast<std::size_t>(j)]) continue;
-        const double cij = row[j];
-        if (cij < best_open_c[static_cast<std::size_t>(j)] ||
-            (cij == best_open_c[static_cast<std::size_t>(j)] &&
-             i < best_open_i[static_cast<std::size_t>(j)])) {
-          best_open_c[static_cast<std::size_t>(j)] = cij;
-          best_open_i[static_cast<std::size_t>(j)] = i;
+      // Dense walks the active-client list against the facility's row; the
+      // sparse fold walks the row's candidate list instead — out-of-row
+      // pairs cost +inf and can never beat a finite best, and a client
+      // only ever freezes at a finite best, so the folds agree on every
+      // freeze decision.
+      if constexpr (Rows::kDense) {
+        const double* row = rows.c + rb;
+        for (NodeId j : active) {
+          if (frozen[static_cast<std::size_t>(j)]) continue;
+          const double cij = row[j];
+          if (cij < best_open_c[static_cast<std::size_t>(j)] ||
+              (cij == best_open_c[static_cast<std::size_t>(j)] &&
+               i < best_open_i[static_cast<std::size_t>(j)])) {
+            best_open_c[static_cast<std::size_t>(j)] = cij;
+            best_open_i[static_cast<std::size_t>(j)] = i;
+          }
+        }
+      } else {
+        const Slot re = rows.row_end(i);
+        for (Slot s = rb; s < re; ++s) {
+          const auto j = static_cast<std::size_t>(rows.col(s, rb));
+          if (frozen[j]) continue;
+          const double cij = rows.cost(s);
+          if (cij < best_open_c[j] ||
+              (cij == best_open_c[j] && i < best_open_i[j])) {
+            best_open_c[j] = cij;
+            best_open_i[j] = i;
+          }
         }
       }
-      for (NodeId j : tl) {
+      for (Slot s : tl) {
+        const NodeId j = rows.col(s, rb);
         if (frozen[static_cast<std::size_t>(j)]) continue;
         frozen[static_cast<std::size_t>(j)] = 1;
         connect_to[static_cast<std::size_t>(j)] = i;
@@ -765,25 +868,56 @@ util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
         "dual growth did not converge within the round budget");
   }
 
-  if (util::Status s =
-          finish_solution(instance, options, budget, admins, solution);
+  if (util::Status s = finish_solution(instance, options, budget, admins,
+                                       rows, solution);
       !s.ok()) {
     return s;
   }
   return solution;
 }
 
+}  // namespace
+
+ConflSolution solve_confl(const ConflInstance& instance,
+                          const ConflOptions& options) {
+  util::Result<ConflSolution> result = try_solve_confl(instance, options);
+  if (!result.ok()) {
+    util::check_failed("try_solve_confl(...).ok()", __FILE__, __LINE__,
+                       result.status().message());
+  }
+  return std::move(result).value();
+}
+
+util::Result<ConflSolution> try_solve_confl(const ConflInstance& instance,
+                                            const ConflOptions& options,
+                                            const util::RunBudget& budget) {
+  if (util::Status s = validate_confl_instance(instance); !s.ok()) return s;
+  if (util::Status s = validate_confl_options(options); !s.ok()) return s;
+  if (instance.sparse()) {
+    return try_solve_confl_impl(instance, options, budget,
+                                SparseRows{&instance.sparse_cost});
+  }
+  return try_solve_confl_impl(
+      instance, options, budget,
+      DenseRows{instance.assign_cost.data(),
+                static_cast<Slot>(instance.network->num_nodes())});
+}
+
 // The original dense engine: per-client α vector, per-round rescans of
 // every (facility, client) pair. Kept as the behavioural reference for
-// solve_confl — both must produce bit-identical solutions.
+// solve_confl — both must produce bit-identical solutions. Dense-only by
+// design: differential tests build the dense twin of a sparse instance.
 ConflSolution solve_confl_reference(const ConflInstance& instance,
                                     const ConflOptions& options) {
   validate(instance);
   check_options(options);
+  FAIRCACHE_CHECK(!instance.sparse(),
+                  "solve_confl_reference requires dense assignment costs");
 
   const int n = instance.network->num_nodes();
   const NodeId root = instance.root;
   const auto& c = instance.assign_cost;
+  const DenseRows rows{c.data(), static_cast<Slot>(n)};
   auto cost = [&](NodeId i, NodeId j) {
     return c(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
   };
@@ -816,7 +950,7 @@ ConflSolution solve_confl_reference(const ConflInstance& instance,
            instance.facility_cost[static_cast<std::size_t>(i)] != kInfCost;
   };
 
-  const int max_rounds = derive_max_rounds(instance, options);
+  const int max_rounds = derive_max_rounds(instance, options, rows);
 
   // Dual growth rates per unit of α-time.
   const double beta_rate = options.beta_step / options.alpha_step;
@@ -826,7 +960,7 @@ ConflSolution solve_confl_reference(const ConflInstance& instance,
   // when an event is already due (process without growing). The
   // per-facility payment/SPAN arithmetic lives in facility_event_delta,
   // shared with the active-set engine — the deltas must agree bit for bit.
-  std::vector<NodeId> tight;
+  std::vector<Slot> tight;
   std::vector<double> pending;
   auto next_event_delta = [&]() {
     double delta = kInfCost;
@@ -843,22 +977,23 @@ ConflSolution solve_confl_reference(const ConflInstance& instance,
     for (NodeId i = 0; i < n; ++i) {
       if (!openable(i)) continue;
       const double fi = instance.facility_cost[static_cast<std::size_t>(i)];
-      // Tight unfrozen clients of i.
+      const Slot rb = rows.row_begin(i);
+      // Tight unfrozen clients of i, as pair slots.
       tight.clear();
       for (NodeId j = 0; j < n; ++j) {
         if (frozen[static_cast<std::size_t>(j)]) continue;
         if (alpha[static_cast<std::size_t>(j)] + 1e-12 >= cost(i, j)) {
-          tight.push_back(j);
+          tight.push_back(rb + j);
         }
       }
       const double pi = paid[static_cast<std::size_t>(i)];
       const double rate =
-          pi + 1e-12 < fi ? tight_rate(tight, weight) : 0.0;
+          pi + 1e-12 < fi ? tight_rate(tight, rb, rows, weight) : 0.0;
       delta = std::min(
-          delta, facility_event_delta(
-                     fi, pi, rate, tight, c[static_cast<std::size_t>(i)],
-                     gamma[static_cast<std::size_t>(i)], weight, beta_rate,
-                     gamma_rate, options.span_threshold, pending));
+          delta, facility_event_delta(fi, pi, rate, tight, rb, rows,
+                                      gamma.data(), weight, beta_rate,
+                                      gamma_rate, options.span_threshold,
+                                      pending));
     }
     if (delta == kInfCost) delta = 0.0;  // nothing to wait for
     return std::max(delta, 0.0);
@@ -974,12 +1109,12 @@ ConflSolution solve_confl_reference(const ConflInstance& instance,
       // contributed to it (β > 0) — they received a NADMIN response.
       for (NodeId j = 0; j < n; ++j) {
         if (frozen[static_cast<std::size_t>(j)]) continue;
-        const bool tight =
+        const bool is_tight =
             alpha[static_cast<std::size_t>(j)] + 1e-12 >= cost(i, j);
         const bool contributed =
             beta(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) >
             0.0;
-        if (tight || contributed) {
+        if (is_tight || contributed) {
           frozen[static_cast<std::size_t>(j)] = 1;
           connect_to[static_cast<std::size_t>(j)] = i;
         }
@@ -991,35 +1126,65 @@ ConflSolution solve_confl_reference(const ConflInstance& instance,
                   "dual growth did not converge within the round budget");
 
   check_status(finish_solution(instance, options, util::RunBudget(), admins,
-                               solution),
+                               rows, solution),
                "finish_solution(...).ok()");
   return solution;
 }
+
+namespace {
+
+template <typename Rows>
+double evaluate_confl_objective_impl(const ConflInstance& instance,
+                                     const std::vector<NodeId>& open,
+                                     double scaled_tree_cost,
+                                     const Rows& rows) {
+  const int n = instance.network->num_nodes();
+  const auto un = static_cast<std::size_t>(n);
+  double total = scaled_tree_cost;
+  for (NodeId i : open) {
+    total += instance.facility_cost[static_cast<std::size_t>(i)];
+  }
+  // Min-fold per facility row (min over doubles is order-insensitive, so
+  // this matches the per-client scan of the historical dense evaluator).
+  std::vector<double> best(un, kInfCost);
+  {
+    const Slot rb = rows.row_begin(instance.root);
+    const Slot re = rows.row_end(instance.root);
+    for (Slot s = rb; s < re; ++s) {
+      best[static_cast<std::size_t>(rows.col(s, rb))] = rows.cost(s);
+    }
+  }
+  for (NodeId i : open) {
+    const Slot rb = rows.row_begin(i);
+    const Slot re = rows.row_end(i);
+    for (Slot s = rb; s < re; ++s) {
+      const auto j = static_cast<std::size_t>(rows.col(s, rb));
+      best[j] = std::min(best[j], rows.cost(s));
+    }
+  }
+  for (NodeId j = 0; j < n; ++j) {
+    const double w = instance.client_weight.empty()
+                         ? 1.0
+                         : instance.client_weight[static_cast<std::size_t>(j)];
+    total += w * best[static_cast<std::size_t>(j)];
+  }
+  return total;
+}
+
+}  // namespace
 
 double evaluate_confl_objective(const ConflInstance& instance,
                                 const std::vector<NodeId>& open,
                                 double scaled_tree_cost) {
   validate(instance);
-  const int n = instance.network->num_nodes();
-  double total = scaled_tree_cost;
-  for (NodeId i : open) {
-    total += instance.facility_cost[static_cast<std::size_t>(i)];
+  if (instance.sparse()) {
+    return evaluate_confl_objective_impl(instance, open, scaled_tree_cost,
+                                         SparseRows{&instance.sparse_cost});
   }
-  const double* root_row =
-      instance.assign_cost[static_cast<std::size_t>(instance.root)];
-  for (NodeId j = 0; j < n; ++j) {
-    double best = root_row[j];
-    for (NodeId i : open) {
-      best = std::min(best,
-                      instance.assign_cost(static_cast<std::size_t>(i),
-                                           static_cast<std::size_t>(j)));
-    }
-    const double w = instance.client_weight.empty()
-                         ? 1.0
-                         : instance.client_weight[static_cast<std::size_t>(j)];
-    total += w * best;
-  }
-  return total;
+  return evaluate_confl_objective_impl(
+      instance, open, scaled_tree_cost,
+      DenseRows{instance.assign_cost.data(),
+                static_cast<Slot>(instance.network->num_nodes())});
 }
 
 }  // namespace faircache::confl

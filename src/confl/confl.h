@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "metrics/sparse_contention.h"
 #include "steiner/steiner.h"
 #include "util/deadline.h"
 #include "util/matrix.h"
@@ -41,8 +42,17 @@ struct ConflInstance {
   // f_i; +inf marks a node that can never open (producer, full cache).
   std::vector<double> facility_cost;
   // c(i, j): cost for client j to connect to facility i (c(j, j) == 0).
-  // Row i is the contiguous per-facility cost row.
+  // Row i is the contiguous per-facility cost row. Exactly one of
+  // assign_cost / sparse_cost is populated.
   util::Matrix<double> assign_cost;
+  // Sparse alternative to assign_cost: per-facility candidate-client rows
+  // (metrics::SparseContention); pairs absent from a row are implicitly
+  // +inf. The solver iterates candidate lists instead of dense rows, so
+  // memory and per-round work scale with the materialized pairs. With
+  // every reachable pair materialized (radius ≥ diameter) the solve is
+  // bit-identical to the dense engine on connected instances; the root's
+  // row must always be untruncated (SparseContentionOptions::full_row).
+  metrics::SparseContention sparse_cost;
   // Dissemination cost per edge of `network`.
   std::vector<double> edge_cost;
   // Multiplier M applied to edge costs in the objective (Eq. 8).
@@ -52,6 +62,8 @@ struct ConflInstance {
   // toward facility costs at w times the base rate — the weighted-clients
   // generalisation of the paper's "every node wants every chunk" model.
   std::vector<double> client_weight;
+
+  bool sparse() const { return !sparse_cost.empty(); }
 };
 
 enum class GrowthMode {

@@ -1,6 +1,9 @@
 #include "core/instance_builder.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "util/stopwatch.h"
 
@@ -75,14 +78,81 @@ util::Result<confl::ConflInstance> try_build_chunk_instance(
   return instance;
 }
 
+ContentionMode choose_contention_mode(const graph::Graph& g, int radius) {
+  const int n = g.num_nodes();
+  // Dense incremental is unbeatable while the n×n matrix is small, and is
+  // the only choice when nothing bounds the rows.
+  if (n <= 2048 || radius <= 0) return ContentionMode::kIncremental;
+  // Past the dense memory wall the sparse engine is the only one that
+  // scales, whatever the fill.
+  if (n > 16384) return ContentionMode::kSparse;
+  // In between, estimate the mean row fill from truncated BFS balls around
+  // ≤ 32 evenly spaced sources.
+  const graph::CsrAdjacency adj = graph::build_csr(g);
+  const int samples = std::min(n, 32);
+  const int stride = std::max(1, n / samples);
+  std::vector<int> stamp(static_cast<std::size_t>(n), 0);
+  std::vector<int> depth(static_cast<std::size_t>(n));
+  std::vector<graph::NodeId> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  int gen = 0;
+  std::int64_t ball_total = 0;
+  int taken = 0;
+  for (graph::NodeId src = 0; src < n && taken < samples;
+       src += stride, ++taken) {
+    ++gen;
+    queue.clear();
+    stamp[static_cast<std::size_t>(src)] = gen;
+    depth[static_cast<std::size_t>(src)] = 0;
+    queue.push_back(src);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const graph::NodeId v = queue[head];
+      const int dv = depth[static_cast<std::size_t>(v)];
+      if (dv >= radius) continue;
+      for (int e = adj.offset[v]; e < adj.offset[v + 1]; ++e) {
+        const auto w = static_cast<std::size_t>(adj.neighbor[e]);
+        if (stamp[w] == gen) continue;
+        stamp[w] = gen;
+        depth[w] = dv + 1;
+        queue.push_back(adj.neighbor[e]);
+      }
+    }
+    ball_total += static_cast<std::int64_t>(queue.size());
+  }
+  const double fill = taken == 0 ? 1.0
+                                 : static_cast<double>(ball_total) /
+                                       (static_cast<double>(taken) * n);
+  return fill <= 0.25 ? ContentionMode::kSparse
+                      : ContentionMode::kIncremental;
+}
+
 ChunkInstanceEngine::ChunkInstanceEngine(const FairCachingProblem& problem,
                                          const InstanceOptions& options)
     : problem_(&problem), options_(options) {
-  if (options_.contention_mode == ContentionMode::kIncremental &&
-      options_.path_policy == metrics::PathPolicy::kHopShortest &&
-      problem_->network != nullptr) {
+  mode_used_ = options_.contention_mode;
+  if (mode_used_ == ContentionMode::kAuto) {
+    mode_used_ = problem_->network != nullptr
+                     ? choose_contention_mode(*problem_->network,
+                                              options_.contention_radius)
+                     : ContentionMode::kRebuild;
+  }
+  // The delta-patching engines pin hop-shortest BFS trees; kMinContention
+  // paths depend on the weights themselves, so both fall back to the
+  // stateless rebuild (surfaced through mode_used()).
+  if (options_.path_policy != metrics::PathPolicy::kHopShortest ||
+      problem_->network == nullptr) {
+    mode_used_ = ContentionMode::kRebuild;
+  }
+  if (mode_used_ == ContentionMode::kIncremental) {
     updater_ = std::make_unique<metrics::ContentionUpdater>(
         *problem_->network, options_.threads);
+  } else if (mode_used_ == ContentionMode::kSparse) {
+    metrics::SparseContentionOptions sparse_options;
+    sparse_options.radius = options_.contention_radius;
+    sparse_options.full_row = problem_->producer;
+    sparse_options.threads = options_.threads;
+    sparse_updater_ = std::make_unique<metrics::SparseContentionUpdater>(
+        *problem_->network, sparse_options);
   }
 }
 
@@ -103,6 +173,16 @@ util::Result<confl::ConflInstance> ChunkInstanceEngine::build(
     stats_.delta_seconds += updater_->delta_apply_seconds() - delta_before;
     instance.assign_cost = updater_->take_matrix();
     instance.edge_cost = updater_->take_edge_costs();
+  } else if (sparse_updater_ != nullptr) {
+    const double tree_before = sparse_updater_->tree_build_seconds();
+    const double delta_before = sparse_updater_->delta_apply_seconds();
+    sparse_updater_->update(state);
+    stats_.tree_seconds +=
+        sparse_updater_->tree_build_seconds() - tree_before;
+    stats_.delta_seconds +=
+        sparse_updater_->delta_apply_seconds() - delta_before;
+    instance.sparse_cost = sparse_updater_->take_store();
+    instance.edge_cost = sparse_updater_->take_edge_costs();
   } else {
     util::Stopwatch timer;
     metrics::ContentionMatrix contention(*problem_->network, state,
@@ -116,9 +196,13 @@ util::Result<confl::ConflInstance> ChunkInstanceEngine::build(
 }
 
 void ChunkInstanceEngine::reclaim(confl::ConflInstance&& instance) {
-  if (updater_ == nullptr) return;
-  updater_->restore(std::move(instance.assign_cost),
-                    std::move(instance.edge_cost));
+  if (updater_ != nullptr) {
+    updater_->restore(std::move(instance.assign_cost),
+                      std::move(instance.edge_cost));
+  } else if (sparse_updater_ != nullptr) {
+    sparse_updater_->restore(std::move(instance.sparse_cost),
+                             std::move(instance.edge_cost));
+  }
 }
 
 }  // namespace faircache::core

@@ -20,21 +20,37 @@
 #include "core/problem.h"
 #include "metrics/contention_updater.h"
 #include "metrics/fairness.h"
+#include "metrics/sparse_contention.h"
 #include "util/status.h"
 
 namespace faircache::core {
 
 // How the per-chunk contention costs are produced across a chunk loop.
+// Every mode except kSparse yields a dense n×n ConflInstance::assign_cost;
+// kSparse yields ConflInstance::sparse_cost candidate rows instead. The
+// engine's resolved choice (fallbacks applied, kAuto decided) is surfaced
+// by ChunkInstanceEngine::mode_used() and SolveReport::contention_mode_used.
 enum class ContentionMode {
   // Delta-patch a persistent ContentionUpdater (pinned BFS trees). The
   // default: exact on integer-valued weights, and the full build phase of
   // every chunk after the first drops from O(n·m) to one linear sweep.
   // Applies only under PathPolicy::kHopShortest; kMinContention paths
-  // depend on the weights themselves and silently fall back to kRebuild.
+  // depend on the weights themselves and fall back to kRebuild
+  // (mode_used() reports the fallback).
   kIncremental,
   // Fresh ContentionMatrix per chunk — the reference engine, bit-identical
   // to the historical per-chunk rebuild at any thread count.
   kRebuild,
+  // Sparse candidate-row engine (metrics::SparseContentionUpdater): only
+  // pairs within `contention_radius` hops are materialized, breaking the
+  // O(n²) memory wall (docs/PERF.md). Hop-shortest only (falls back to
+  // kRebuild otherwise, like kIncremental). With radius ≥ the graph
+  // diameter the placements are bit-identical to kIncremental on
+  // connected networks.
+  kSparse,
+  // Density-adaptive choice between kIncremental and kSparse per problem,
+  // from n and the radius-estimated row fill (choose_contention_mode).
+  kAuto,
 };
 
 struct InstanceOptions {
@@ -54,7 +70,20 @@ struct InstanceOptions {
   // ApproxFairCaching's chunk loop). The stateless
   // try_build_chunk_instance below always rebuilds regardless.
   ContentionMode contention_mode = ContentionMode::kIncremental;
+  // Hop radius for kSparse/kAuto: each facility row materializes only the
+  // clients within this many hops (the producer's row is always full so
+  // the dual growth terminates). ≤ 0 = unbounded — every reachable pair,
+  // the bit-identical-to-dense setting.
+  int contention_radius = 0;
 };
+
+// Resolves ContentionMode::kAuto for one network: kIncremental when the
+// dense matrix is cheap (n ≤ 2048) or the radius is unbounded, kSparse
+// when n is past the dense memory wall (n > 16384), and in between by
+// sampling truncated BFS balls from ≤ 32 evenly spaced sources — sparse
+// wins when the estimated row fill is ≤ 25% (the pasl-style density
+// cutoff; see docs/PERF.md for the calibration).
+ContentionMode choose_contention_mode(const graph::Graph& g, int radius);
 
 // Where the contention-build time went, cumulative over an engine's life:
 // full builds (BFS trees + initial matrix, and every kRebuild chunk) vs
@@ -100,19 +129,29 @@ class ChunkInstanceEngine {
 
   // Returns the cost buffers of an instance produced by build() to the
   // incremental engine. The instance is consumed. No-op outside
-  // kIncremental mode.
+  // kIncremental / kSparse modes.
   void reclaim(confl::ConflInstance&& instance);
 
-  // True when build() delta-patches (kIncremental and hop-shortest paths).
-  bool incremental() const { return updater_ != nullptr; }
+  // True when build() delta-patches (kIncremental or kSparse under
+  // hop-shortest paths).
+  bool incremental() const {
+    return updater_ != nullptr || sparse_updater_ != nullptr;
+  }
+
+  // The contention mode build() actually runs: the requested mode with
+  // kAuto resolved (choose_contention_mode) and the hop-shortest-only
+  // engines' kRebuild fallback applied. Never kAuto.
+  ContentionMode mode_used() const { return mode_used_; }
 
   const InstanceBuildStats& stats() const { return stats_; }
 
  private:
   const FairCachingProblem* problem_;
   InstanceOptions options_;
-  // Non-null iff the incremental engine applies to `options_`.
+  ContentionMode mode_used_ = ContentionMode::kRebuild;
+  // At most one of these is non-null, per mode_used_.
   std::unique_ptr<metrics::ContentionUpdater> updater_;
+  std::unique_ptr<metrics::SparseContentionUpdater> sparse_updater_;
   InstanceBuildStats stats_;
 };
 

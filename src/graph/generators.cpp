@@ -56,10 +56,44 @@ Graph make_erdos_renyi(int n, double p, util::Rng& rng) {
   FAIRCACHE_CHECK(n >= 1, "need at least one node");
   FAIRCACHE_CHECK(p >= 0.0 && p <= 1.0, "p must be in [0, 1]");
   Graph g(n);
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = u + 1; v < n; ++v) {
-      if (rng.bernoulli(p)) g.add_edge(u, v);
+  // Small graphs keep the historical per-pair Bernoulli loop: its exact
+  // draw sequence is pinned by seeded fixtures across the test suite, and
+  // at this size the O(n²) scan is free anyway.
+  if (n <= 512) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(p)) g.add_edge(u, v);
+      }
     }
+    return g;
+  }
+  if (p <= 0.0) return g;
+  if (p >= 1.0) return make_complete(n);
+  // Large graphs use Batagelj–Brandes geometric skip-sampling: instead of
+  // one Bernoulli draw per candidate pair, draw the gap to the next
+  // present edge directly (geometrically distributed with success
+  // probability p), walking the pairs in colexicographic order — O(m)
+  // draws total. The skip uses u ∈ (0, 1] so log(u) is finite.
+  const double log_q = std::log1p(-p);
+  const std::int64_t total =
+      static_cast<std::int64_t>(n) * (n - 1) / 2;  // candidate pairs
+  std::int64_t t = -1;  // index of the last sampled pair
+  NodeId v = 0;         // pair t = (u, v) in colex order: u < v
+  NodeId u = 0;
+  std::int64_t vbase = 0;  // index of pair (0, v)
+  while (true) {
+    const double draw = 1.0 - rng.uniform();  // (0, 1]
+    const double skip = std::floor(std::log(draw) / log_q);
+    if (skip >= static_cast<double>(total - t)) break;  // past the last pair
+    t += static_cast<std::int64_t>(skip) + 1;
+    if (t >= total) break;
+    // Advance (u, v) to pair t: v is the largest column with vbase ≤ t.
+    while (vbase + v <= t) {
+      vbase += v;
+      ++v;
+    }
+    u = static_cast<NodeId>(t - vbase);
+    g.add_edge(u, v);  // t strictly increases, so pairs never repeat
   }
   return g;
 }

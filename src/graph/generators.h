@@ -66,6 +66,10 @@ Graph make_watts_strogatz(int n, int k, double beta, util::Rng& rng);
 // independently with probability p. NOT made connected — small p yields
 // disconnected graphs (and isolated nodes) on purpose; tests use this to
 // cover the unreachable-pair (infinite-cost) paths of the metrics layer.
+// n ≤ 512 keeps the historical per-pair draw sequence (seeded fixtures
+// depend on it); larger n switches to Batagelj–Brandes geometric
+// skip-sampling, which is O(n + m) instead of O(n²) — same distribution,
+// different (still deterministic) draw sequence per seed.
 Graph make_erdos_renyi(int n, double p, util::Rng& rng);
 
 // Barabási–Albert preferential-attachment graph: starts from a clique of

@@ -1,0 +1,174 @@
+#pragma once
+
+// Sparse (candidate-list) contention costs — the O(n²)-wall breaker for
+// 100k-node instances (docs/PERF.md, "Sparse contention engine").
+//
+// Under PathPolicy::kHopShortest a client j only ever connects to a
+// facility i within a bounded number of hops: beyond a contention radius r
+// the pair cost is dominated by the root's full row, so the dense n×n
+// matrix wastes memory on pairs the solver can never pick. The sparse
+// store materializes, per source i, only the nodes within r hops of i —
+// one truncated deterministic BFS per row, the exact hop-shortest
+// arithmetic of metrics::ContentionMatrix restricted to the in-radius
+// ball. Pairs absent from a row are implicitly +∞.
+//
+// Rows are CSR with bit-packed entries: a row's entries are sorted by
+// ascending client id and packed as (col << 8) | min(hop, 255) in one
+// uint32 (requires n < 2^24), with the double costs in a parallel array.
+// Ascending packed order is ascending client order, which is what keeps
+// the solver's floating-point accumulations in the dense reference order.
+//
+// Two guarantees make the truncation safe:
+//   * the `full_row` source (the ConFL root / producer) is always built
+//     untruncated, so every client reachable from the root has a finite
+//     root cost and the dual growth terminates;
+//   * with radius ≥ the graph diameter (or radius ≤ 0, "unbounded") every
+//     reachable pair is materialized and the store is entry-for-entry
+//     bit-identical to the dense ContentionMatrix.
+//
+// SparseContentionUpdater mirrors metrics::ContentionUpdater incrementally:
+// it pins the truncated BFS trees once per topology (preorder subtree
+// intervals per row, aligned with the CSR slots) and applies cache-state
+// weight deltas as range-adds — O(row + |D| log row) per row instead of a
+// BFS. Builds are sharded by Voronoi region (graph::voronoi_partition over
+// evenly spaced seeds) so parallel workers walk topologically clustered
+// sources while writing disjoint CSR row blocks.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/cache_state.h"
+#include "util/matrix.h"
+
+namespace faircache::metrics {
+
+// CSR row store of in-radius path contention costs. Plain data: movable
+// in and out of a ConflInstance without touching the pinned trees.
+struct SparseContention {
+  static constexpr int kHopBits = 8;
+  static constexpr std::uint32_t kHopMask = (1u << kHopBits) - 1;
+  static constexpr int kMaxNodes = 1 << (32 - kHopBits);  // col fits 24 bits
+
+  static constexpr graph::NodeId col_of(std::uint32_t packed) {
+    return static_cast<graph::NodeId>(packed >> kHopBits);
+  }
+  // Hop distance source → col, saturated at 255 (exact within any radius
+  // ≤ 255; untruncated rows of deeper graphs clamp — the hop byte only
+  // feeds heuristics, never the cost arithmetic).
+  static constexpr int hop_of(std::uint32_t packed) {
+    return static_cast<int>(packed & kHopMask);
+  }
+
+  int num_nodes = 0;
+  int radius = 0;  // ≤ 0 = unbounded (every row full)
+  graph::NodeId full_row = graph::kInvalidNode;  // row built untruncated
+  std::vector<std::int64_t> row_offset;  // size n + 1
+  std::vector<std::uint32_t> packed;     // (col << 8) | hop, ascending col
+  std::vector<double> cost;              // aligned with `packed`
+  double max_cost = 0.0;
+
+  bool empty() const { return row_offset.empty(); }
+  std::int64_t row_begin(graph::NodeId i) const {
+    return row_offset[static_cast<std::size_t>(i)];
+  }
+  std::int64_t row_end(graph::NodeId i) const {
+    return row_offset[static_cast<std::size_t>(i) + 1];
+  }
+
+  // c_ij by binary search over row i; graph::kInfCost when the pair is not
+  // materialized (out of radius / unreachable). O(log row) — for tests and
+  // evaluators, not solver hot loops (those iterate rows).
+  double cost_at(graph::NodeId i, graph::NodeId j) const;
+};
+
+// Options fixed at updater construction (they shape the pinned trees).
+struct SparseContentionOptions {
+  // Hop truncation radius per source row; ≤ 0 builds every row full.
+  int radius = 0;
+  // Source whose row is always built untruncated (the ConFL root), so the
+  // dual growth can freeze every client onto the pre-opened root.
+  // kInvalidNode (or an out-of-range id) disables the exemption.
+  graph::NodeId full_row = graph::kInvalidNode;
+  // Worker threads for builds and delta sweeps (0 = the
+  // util::parallel_threads() default). Bit-identical at any setting.
+  int threads = 0;
+};
+
+// Incremental sparse-contention maintenance across a chunk loop — the
+// ContentionUpdater contract (pin trees once, delta-patch per chunk,
+// take/restore buffer hand-off) over the CSR store above.
+class SparseContentionUpdater {
+ public:
+  // The graph must outlive the updater and must not change topology.
+  // Requires g.num_nodes() < SparseContention::kMaxNodes (24-bit columns).
+  explicit SparseContentionUpdater(const graph::Graph& g,
+                                   SparseContentionOptions options = {});
+  ~SparseContentionUpdater();
+
+  SparseContentionUpdater(const SparseContentionUpdater&) = delete;
+  SparseContentionUpdater& operator=(const SparseContentionUpdater&) = delete;
+
+  // Brings the owned store and edge costs in sync with `state`. First call
+  // (or any call after take_* without restore) performs the sharded full
+  // build and pins the truncated trees; later calls apply weight deltas as
+  // preorder range-adds per row. No-op when no node weight changed.
+  void update(const CacheState& state);
+
+  const graph::Graph& graph() const { return *graph_; }
+  const SparseContention& store() const { return store_; }
+  const std::vector<double>& edge_costs() const { return edge_cost_; }
+  double max_cost() const { return store_.max_cost; }
+
+  // Zero-copy hand-off for instance building (the ContentionUpdater
+  // contract): steal the buffers, solve on them, hand them back so the
+  // next update() can delta-patch. An update() with outstanding buffers
+  // falls back to a full rebuild.
+  SparseContention take_store() { return std::move(store_); }
+  std::vector<double> take_edge_costs() { return std::move(edge_cost_); }
+  void restore(SparseContention store, std::vector<double> edge_cost);
+
+  // Cumulative wall-clock split of update() work: full sharded builds vs
+  // delta sweeps. Surfaced per run in core::SolveReport.
+  double tree_build_seconds() const { return tree_build_seconds_; }
+  double delta_apply_seconds() const { return delta_apply_seconds_; }
+
+ private:
+  struct Workspace;  // per-worker scratch, defined in the .cpp
+
+  // BFS depth limit for row i (INT_MAX for the full row / unbounded mode).
+  int row_limit(graph::NodeId i) const;
+
+  void build_full(const std::vector<double>& weight);
+  void apply_deltas(const std::vector<std::pair<graph::NodeId, double>>& d);
+
+  const graph::Graph* graph_ = nullptr;
+  SparseContentionOptions options_;
+  graph::CsrAdjacency adj_;
+
+  SparseContention store_;
+  std::vector<double> edge_cost_;
+
+  // Voronoi-region build sharding: shard s builds the sources
+  // region_order_[region_begin_[s] .. region_begin_[s+1]) — workers walk
+  // topologically clustered sources, outputs land in disjoint CSR rows.
+  std::vector<graph::NodeId> region_order_;
+  std::vector<std::size_t> region_begin_;
+
+  // Pinned truncated trees, aligned with store_.packed: pre_/end_ give the
+  // preorder subtree interval of a row entry's node within its row's
+  // truncated BFS tree; order_ maps a row's preorder position back to the
+  // local (ascending-col) slot index inside that row.
+  std::vector<std::int32_t> pre_;
+  std::vector<std::int32_t> end_;
+  std::vector<std::uint32_t> order_;
+  std::vector<double> row_max_;
+
+  std::vector<double> weight_;  // w_k(1+S(k)) the costs currently reflect
+  bool built_ = false;
+
+  double tree_build_seconds_ = 0.0;
+  double delta_apply_seconds_ = 0.0;
+};
+
+}  // namespace faircache::metrics
