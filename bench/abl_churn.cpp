@@ -35,6 +35,11 @@ struct ScenarioOutcome {
   double initial_cost = 0.0;
   double repair_seconds = 0.0;   // wall time inside repair passes
   std::uint64_t repair_work = 0;  // deterministic work units
+  // Integrity-guard activity merged across every repair pass, plus the
+  // guarded/unguarded identity probe (docs/ROBUSTNESS.md).
+  core::CorruptionReport guard;
+  std::uint64_t guarded_hash = 0;
+  std::uint64_t unguarded_hash = 0;
 };
 
 ScenarioOutcome run_scenario(const core::FairCachingProblem& problem,
@@ -52,11 +57,21 @@ ScenarioOutcome run_scenario(const core::FairCachingProblem& problem,
   FAIRCACHE_CHECK(off.ok(), "evict-only churn run failed");
   outcome.no_repair = off.value();
 
+  // Same timeline with the integrity guard disabled: the pre-guard fast
+  // path, for the overhead and identity stanza below.
+  sim::ChurnRunConfig unguarded = repair_on;
+  unguarded.repair.approx.instance.guard.enabled = false;
+  const auto raw = sim::run_churn(problem, initial, plan, unguarded);
+  FAIRCACHE_CHECK(raw.ok(), "unguarded churn run failed");
+  outcome.guarded_hash = sim::churn_result_hash(outcome.with_repair);
+  outcome.unguarded_hash = sim::churn_result_hash(raw.value());
+
   outcome.initial_cost =
       outcome.with_repair.timeline.samples().front().component_cost;
   for (const core::RepairReport& report : outcome.with_repair.reports) {
     outcome.repair_seconds += report.total_seconds;
     outcome.repair_work += report.work_units;
+    outcome.guard.merge(report.guard);
   }
   return outcome;
 }
@@ -131,15 +146,29 @@ void print_final_comparison(const core::FairCachingProblem& problem,
             << resolve_seconds << " s (cost " << resolve_eval.total()
             << ")\n";
 
+  // Integrity-guard overhead on the escalation engines: audit effort,
+  // verdicts, and the bit-identity of the whole guarded run against the
+  // pre-guard fast path (the guard observes, it never steers).
+  std::cout << "\nIntegrity guard across the escalation re-solves: "
+            << outcome.guard.audits << " audits ("
+            << outcome.guard.audits_skipped << " skipped for budget), "
+            << outcome.guard.rows_checked << " rows cross-validated, "
+            << outcome.guard.audit_seconds << " s audit time, "
+            << outcome.guard.quarantines << " quarantines\n";
+
   const bool reach_ok =
       on.reachable_fraction + 1e-12 >= 0.99 * off.reachable_fraction &&
       on.reachable_fraction + 1e-12 >= off.reachable_fraction;
   const bool cheap = outcome.repair_seconds <
                      resolve_seconds * outcome.with_repair.reports.size();
+  const bool guard_ok = outcome.guard.clean() &&
+                        outcome.guarded_hash == outcome.unguarded_hash;
   std::cout << (reach_ok ? "PASS" : "FAIL")
             << ": repaired reachability never below the no-repair run\n"
             << (cheap ? "PASS" : "FAIL")
-            << ": total repair time below one re-solve per event\n";
+            << ": total repair time below one re-solve per event\n"
+            << (guard_ok ? "PASS" : "FAIL")
+            << ": guarded churn_result_hash bit-identical to unguarded\n";
 }
 
 }  // namespace

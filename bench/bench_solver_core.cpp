@@ -119,6 +119,39 @@ void BM_ApproxRun(benchmark::State& state) {
   state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
 }
 
+// The pre-guard fast path: integrity guard off, so the updaters skip
+// checksum maintenance entirely. BM_ApproxRun minus this = what the
+// default guard costs end to end (docs/PERF.md, "Integrity guard").
+void BM_ApproxRunUnguarded(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::make_grid(side, side);
+  const core::FairCachingProblem problem = grid_problem(g, 5);
+  core::ApproxConfig config;
+  config.instance.guard.enabled = false;
+  for (auto _ : state) {
+    core::ApproxFairCaching appx(config);
+    benchmark::DoNotOptimize(appx.run(problem));
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
+}
+
+// Worst-case guard pressure: audit every build with an uncapped budget.
+// The gap to BM_ApproxRun is the price of the audits themselves (digest
+// recompute + sampled-row cross-validation), not of maintenance.
+void BM_ApproxRunAuditEveryBuild(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const graph::Graph g = graph::make_grid(side, side);
+  const core::FairCachingProblem problem = grid_problem(g, 5);
+  core::ApproxConfig config;
+  config.instance.guard.cadence = 1;
+  config.instance.guard.budget_share = 1.0;
+  for (auto _ : state) {
+    core::ApproxFairCaching appx(config);
+    benchmark::DoNotOptimize(appx.run(problem));
+  }
+  state.SetLabel(std::to_string(g.num_nodes()) + " nodes");
+}
+
 // Reference contention engine (per-chunk rebuild), default Steiner engine —
 // the PR-4 BM_ApproxRunVoronoi configuration; compare against BM_ApproxRun
 // for the incremental-engine speedup.
@@ -160,6 +193,10 @@ BENCHMARK(BM_BuildInstanceRebuild)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
 BENCHMARK(BM_BuildInstanceIncremental)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ApproxRun)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApproxRunUnguarded)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApproxRunAuditEveryBuild)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ApproxRunRebuild)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
     ->Unit(benchmark::kMillisecond);

@@ -204,6 +204,75 @@ int check_end_to_end(const Fixture& f) {
   return failures;
 }
 
+// Integrity-guard smoke (docs/ROBUSTNESS.md, "Integrity guard"): on one
+// grid fixture, the default-guarded run and an audit-every-build run must
+// produce the exact placement hash of the unguarded pre-guard fast path,
+// report zero corruption, and the audits must actually execute under the
+// paranoid cadence. Prints the guard activity + overhead so the CI log
+// doubles as a longitudinal overhead record. Returns failure count.
+int check_guard_overhead() {
+  int failures = 0;
+  const graph::Graph g = graph::make_grid(20, 20);
+  core::FairCachingProblem problem;
+  problem.network = &g;
+  problem.producer = 0;
+  problem.num_chunks = 8;
+  problem.uniform_capacity = 5;
+
+  struct Variant {
+    const char* name;
+    core::GuardOptions guard;
+  };
+  Variant variants[3] = {{"unguarded", {}}, {"guard-default", {}},
+                         {"guard-cadence1", {}}};
+  variants[0].guard.enabled = false;
+  variants[2].guard.cadence = 1;
+  variants[2].guard.budget_share = 1.0;
+
+  std::uint64_t reference = 0;
+  for (int v = 0; v < 3; ++v) {
+    core::ApproxConfig config;
+    config.instance.guard = variants[v].guard;
+    core::SolveReport report;
+    auto result = core::ApproxFairCaching(config).solve(
+        problem, util::RunBudget::unlimited(), &report);
+    if (!result.ok()) {
+      std::printf("FAIL guard %s: solve failed (%s)\n", variants[v].name,
+                  result.status().message().c_str());
+      ++failures;
+      continue;
+    }
+    const std::uint64_t h = run_hash(result.value());
+    const core::CorruptionReport& guard = report.guard;
+    std::printf("%-18s appx %-14s hash=%016llx audits=%d rows=%ld "
+                "audit=%.1fms solve=%.1fms\n",
+                "grid20_guard", variants[v].name,
+                static_cast<unsigned long long>(h), guard.audits,
+                guard.rows_checked, guard.audit_seconds * 1e3,
+                report.total_seconds * 1e3);
+    if (v == 0) {
+      reference = h;
+    } else if (h != reference) {
+      std::printf("FAIL guard %s: hash diverges from unguarded run "
+                  "(%016llx vs %016llx)\n",
+                  variants[v].name, static_cast<unsigned long long>(h),
+                  static_cast<unsigned long long>(reference));
+      ++failures;
+    }
+    if (!guard.clean()) {
+      std::printf("FAIL guard %s: corruption reported on healthy state\n",
+                  variants[v].name);
+      ++failures;
+    }
+    if (v == 2 && guard.audits < problem.num_chunks - 1) {
+      std::printf("FAIL guard %s: only %d audits ran under cadence 1\n",
+                  variants[v].name, guard.audits);
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 // Sparse-engine memory smoke: a 100k-node connected ER instance (mean
 // degree ≈ 6) solved end to end under kSparse with a 2-hop radius. The
 // dense n² matrix would need ~80 GB here; the check pins the sparse
@@ -312,6 +381,7 @@ int main() {
     }
     failures += check_end_to_end(f);
   }
+  failures += check_guard_overhead();
   failures += check_sparse_scale();
   if (failures != 0) {
     std::printf("engine_smoke: %d failure(s)\n", failures);

@@ -100,6 +100,16 @@ inline void decode_problem(const std::uint8_t* data, std::size_t size,
     out.config.instance.contention_mode = core::ContentionMode::kAuto;
   }
   out.config.instance.contention_radius = sparse_byte >> 2;
+  // The guard byte sweeps the integrity-guard configuration: low two bits
+  // are the audit cadence (0 = maintenance without audits, which also
+  // disables the guard one time in four), the next two the sampled-row
+  // count. budget_share stays 1 so every due audit actually runs — the
+  // fuzzer should exercise the audit arithmetic, not the throttle.
+  const std::uint8_t guard_byte = in.u8();
+  out.config.instance.guard.enabled = (guard_byte & 0x3) != 0;
+  out.config.instance.guard.cadence = guard_byte & 0x3;
+  out.config.instance.guard.sampled_rows = (guard_byte >> 2) & 0x3;
+  out.config.instance.guard.budget_share = 1.0;
   out.config.confl.threads = 1;
   out.config.instance.threads = 1;
 

@@ -269,6 +269,7 @@ util::Result<FairCachingResult> ApproxFairCaching::solve(
   }
   rep.build_tree_seconds = engine.stats().tree_seconds;
   rep.build_delta_seconds = engine.stats().delta_seconds;
+  rep.guard = engine.guard_report();
 
   if (chunk < problem.num_chunks) {
     // Anytime degradation: the budget ran out with chunks left. Keep every

@@ -61,6 +61,11 @@ struct SolveReport {
   double solve_seconds = 0.0;     // ConFL solves (lines 17–47)
   double fallback_seconds = 0.0;  // greedy degraded-mode placement
   double total_seconds = 0.0;
+  // Integrity-guard activity across the chunk loop: audits run/skipped,
+  // detected corruptions, quarantine-to-rebuild recoveries
+  // (core/engine_guard.h; docs/ROBUSTNESS.md, "Integrity guard").
+  // guard.clean() for any healthy run.
+  CorruptionReport guard;
 
   bool degraded() const { return !degraded_chunks.empty(); }
   int chunks_solved() const {

@@ -26,6 +26,13 @@ util::Status validate_build_inputs(const FairCachingProblem& problem,
        static_cast<std::size_t>(chunk) >= options.demand->size())) {
     return util::Status::invalid_input("demand matrix missing chunk row");
   }
+  if (options.contention_mode == ContentionMode::kSparse) {
+    if (util::Status status =
+            validate_sparse_node_limit(problem.network->num_nodes());
+        !status.ok()) {
+      return status;
+    }
+  }
   return util::Status();  // OK
 }
 
@@ -76,6 +83,15 @@ util::Result<confl::ConflInstance> try_build_chunk_instance(
   instance.assign_cost = contention.take_matrix();
   instance.edge_cost = contention.take_edge_costs();
   return instance;
+}
+
+util::Status validate_sparse_node_limit(int num_nodes) {
+  if (num_nodes >= metrics::SparseContention::kMaxNodes) {
+    return util::Status::invalid_input(
+        "sparse contention store packs columns into 24 bits; "
+        "network must have fewer than 2^24 nodes");
+  }
+  return util::Status();  // OK
 }
 
 ContentionMode choose_contention_mode(const graph::Graph& g, int radius) {
@@ -143,14 +159,21 @@ ChunkInstanceEngine::ChunkInstanceEngine(const FairCachingProblem& problem,
       problem_->network == nullptr) {
     mode_used_ = ContentionMode::kRebuild;
   }
+  guard_ = EngineGuard(options_.guard);
   if (mode_used_ == ContentionMode::kIncremental) {
     updater_ = std::make_unique<metrics::ContentionUpdater>(
-        *problem_->network, options_.threads);
+        *problem_->network, options_.threads, options_.guard.enabled);
   } else if (mode_used_ == ContentionMode::kSparse) {
+    // kAuto can resolve to kSparse past the dense memory wall, so the
+    // 24-bit column limit is re-checked on the *resolved* mode and
+    // surfaced as a typed error from build(), never a CHECK abort.
+    init_status_ = validate_sparse_node_limit(problem_->network->num_nodes());
+    if (!init_status_.ok()) return;
     metrics::SparseContentionOptions sparse_options;
     sparse_options.radius = options_.contention_radius;
     sparse_options.full_row = problem_->producer;
     sparse_options.threads = options_.threads;
+    sparse_options.checksums = options_.guard.enabled;
     sparse_updater_ = std::make_unique<metrics::SparseContentionUpdater>(
         *problem_->network, sparse_options);
   }
@@ -158,6 +181,9 @@ ChunkInstanceEngine::ChunkInstanceEngine(const FairCachingProblem& problem,
 
 util::Result<confl::ConflInstance> ChunkInstanceEngine::build(
     const metrics::CacheState& state, metrics::ChunkId chunk) {
+  const int build_index = ++builds_;
+  if (options_.pre_build_hook) options_.pre_build_hook(*this, build_index);
+  if (!init_status_.ok()) return init_status_;
   if (util::Status status =
           validate_build_inputs(*problem_, state, options_, chunk);
       !status.ok()) {
@@ -165,22 +191,38 @@ util::Result<confl::ConflInstance> ChunkInstanceEngine::build(
   }
   confl::ConflInstance instance =
       instance_shell(*problem_, state, options_, chunk);
+  // Audit BEFORE update(): a corrupted pinned tree must be caught before
+  // it can drive (or overrun) the delta sweep it indexes.
+  guard_tick(build_index);
   if (updater_ != nullptr) {
     const double tree_before = updater_->tree_build_seconds();
     const double delta_before = updater_->delta_apply_seconds();
     updater_->update(state);
+    const double spent = updater_->tree_build_seconds() - tree_before +
+                         updater_->delta_apply_seconds() - delta_before;
     stats_.tree_seconds += updater_->tree_build_seconds() - tree_before;
     stats_.delta_seconds += updater_->delta_apply_seconds() - delta_before;
+    if (recovering_) {
+      guard_.add_recovery_seconds(spent);
+      recovering_ = false;
+    }
     instance.assign_cost = updater_->take_matrix();
     instance.edge_cost = updater_->take_edge_costs();
   } else if (sparse_updater_ != nullptr) {
     const double tree_before = sparse_updater_->tree_build_seconds();
     const double delta_before = sparse_updater_->delta_apply_seconds();
     sparse_updater_->update(state);
+    const double spent =
+        sparse_updater_->tree_build_seconds() - tree_before +
+        sparse_updater_->delta_apply_seconds() - delta_before;
     stats_.tree_seconds +=
         sparse_updater_->tree_build_seconds() - tree_before;
     stats_.delta_seconds +=
         sparse_updater_->delta_apply_seconds() - delta_before;
+    if (recovering_) {
+      guard_.add_recovery_seconds(spent);
+      recovering_ = false;
+    }
     instance.sparse_cost = sparse_updater_->take_store();
     instance.edge_cost = sparse_updater_->take_edge_costs();
   } else {
@@ -202,7 +244,44 @@ void ChunkInstanceEngine::reclaim(confl::ConflInstance&& instance) {
   } else if (sparse_updater_ != nullptr) {
     sparse_updater_->restore(std::move(instance.sparse_cost),
                              std::move(instance.edge_cost));
+    guard_.set_stale_restores(stale_restore_base_ +
+                              sparse_updater_->stale_restores());
   }
+}
+
+void ChunkInstanceEngine::guard_tick(int build_index) {
+  if (!options_.guard.enabled) return;
+  const double build_seconds = stats_.tree_seconds + stats_.delta_seconds;
+  if (updater_ != nullptr && updater_->ready()) {
+    if (!guard_.audit_due(build_index, build_seconds)) return;
+    if (guard_.audit(*updater_, build_index)) return;
+    guard_.note_quarantine(build_index);
+    recovering_ = true;
+    updater_ = std::make_unique<metrics::ContentionUpdater>(
+        *problem_->network, options_.threads, /*checksums=*/true);
+  } else if (sparse_updater_ != nullptr && sparse_updater_->ready()) {
+    if (!guard_.audit_due(build_index, build_seconds)) return;
+    if (guard_.audit(*sparse_updater_, build_index)) return;
+    guard_.note_quarantine(build_index);
+    recovering_ = true;
+    stale_restore_base_ += sparse_updater_->stale_restores();
+    metrics::SparseContentionOptions sparse_options;
+    sparse_options.radius = options_.contention_radius;
+    sparse_options.full_row = problem_->producer;
+    sparse_options.threads = options_.threads;
+    sparse_options.checksums = true;
+    sparse_updater_ = std::make_unique<metrics::SparseContentionUpdater>(
+        *problem_->network, sparse_options);
+  }
+}
+
+bool ChunkInstanceEngine::corrupt_for_testing(
+    const util::StateCorruption& corruption) {
+  if (updater_ != nullptr) return updater_->corrupt_for_testing(corruption);
+  if (sparse_updater_ != nullptr) {
+    return sparse_updater_->corrupt_for_testing(corruption);
+  }
+  return false;
 }
 
 }  // namespace faircache::core

@@ -14,9 +14,11 @@
 // (docs/PERF.md, "Incremental instance engine"). On the paper's
 // integer-valued contention weights both engines are bit-identical.
 
+#include <functional>
 #include <memory>
 
 #include "confl/confl.h"
+#include "core/engine_guard.h"
 #include "core/problem.h"
 #include "metrics/contention_updater.h"
 #include "metrics/fairness.h"
@@ -24,6 +26,8 @@
 #include "util/status.h"
 
 namespace faircache::core {
+
+class ChunkInstanceEngine;
 
 // How the per-chunk contention costs are produced across a chunk loop.
 // Every mode except kSparse yields a dense n×n ConflInstance::assign_cost;
@@ -75,6 +79,16 @@ struct InstanceOptions {
   // the dual growth terminates). ≤ 0 = unbounded — every reachable pair,
   // the bit-identical-to-dense setting.
   int contention_radius = 0;
+  // Integrity-guard configuration for the stateful engines: audit cadence,
+  // sampled rows, audit-time budget (core/engine_guard.h and
+  // docs/ROBUSTNESS.md, "Integrity guard"). Defaults keep checksums
+  // maintained and audit every 16th build.
+  GuardOptions guard;
+  // Test-only: called at the top of every ChunkInstanceEngine::build()
+  // with the engine and the 1-based build index, before validation and
+  // auditing. sim::StateFaultInjector binds corruption campaigns here;
+  // production code leaves it empty.
+  std::function<void(ChunkInstanceEngine&, int)> pre_build_hook;
 };
 
 // Resolves ContentionMode::kAuto for one network: kIncremental when the
@@ -84,6 +98,12 @@ struct InstanceOptions {
 // wins when the estimated row fill is ≤ 25% (the pasl-style density
 // cutoff; see docs/PERF.md for the calibration).
 ContentionMode choose_contention_mode(const graph::Graph& g, int radius);
+
+// Typed guard on the sparse store's packed 24-bit column limit:
+// kInvalidInput when `num_nodes >= SparseContention::kMaxNodes`. Applied
+// by try_build_chunk_instance / ChunkInstanceEngine whenever the sparse
+// engine is requested or resolved, instead of aborting inside the builder.
+util::Status validate_sparse_node_limit(int num_nodes);
 
 // Where the contention-build time went, cumulative over an engine's life:
 // full builds (BFS trees + initial matrix, and every kRebuild chunk) vs
@@ -145,14 +165,38 @@ class ChunkInstanceEngine {
 
   const InstanceBuildStats& stats() const { return stats_; }
 
+  // Guard activity so far: audits run/skipped, mismatches, quarantines,
+  // recovery time (core/engine_guard.h). Clean when nothing was detected.
+  const CorruptionReport& guard_report() const { return guard_.report(); }
+
+  // Test-only fault hook: forwards to the live stateful updater's
+  // corrupt_for_testing (sim/state_faults.h drives this through
+  // InstanceOptions::pre_build_hook). False in kRebuild mode (stateless —
+  // nothing persists to corrupt) or before the first build.
+  bool corrupt_for_testing(const util::StateCorruption& corruption);
+
  private:
+  // Cadence-gated audit of the live updater, run *before* its update()
+  // consumes the pinned trees: with cadence 1 a corrupted interval array
+  // is caught before it can misdirect (or overrun) the delta sweep. On a
+  // failed audit the updater is destroyed and recreated — the next
+  // update() re-pins fresh trees with the stateless rebuild arithmetic.
+  void guard_tick(int build_index);
+
   const FairCachingProblem* problem_;
   InstanceOptions options_;
   ContentionMode mode_used_ = ContentionMode::kRebuild;
+  // Set at construction when the resolved mode cannot run at all (sparse
+  // 24-bit column limit); build() then fails fast with this status.
+  util::Status init_status_;
   // At most one of these is non-null, per mode_used_.
   std::unique_ptr<metrics::ContentionUpdater> updater_;
   std::unique_ptr<metrics::SparseContentionUpdater> sparse_updater_;
   InstanceBuildStats stats_;
+  EngineGuard guard_;
+  int builds_ = 0;          // build() calls so far (1-based index source)
+  bool recovering_ = false;  // next update() is a quarantine rebuild
+  int stale_restore_base_ = 0;  // stale restores from quarantined updaters
 };
 
 }  // namespace faircache::core

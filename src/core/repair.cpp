@@ -133,6 +133,14 @@ util::Result<RepairReport> PlacementRepairEngine::repair(
   if (producer < 0 || producer >= n) {
     return Status::invalid_input("placement has no valid producer");
   }
+  if (options_.approx.instance.guard.enabled) {
+    // Repair mutates the placement in place; refuse to "heal" on top of a
+    // structurally corrupted state (docs/ROBUSTNESS.md, "Integrity
+    // guard") — the caller must rebuild it instead.
+    if (Status status = state.verify_integrity(); !status.ok()) {
+      return status;
+    }
+  }
   if (!is_alive(alive, producer)) {
     return Status::invalid_input(
         "producer is dead; the data source cannot be repaired around");
@@ -337,6 +345,7 @@ util::Result<RepairReport> PlacementRepairEngine::repair(
     ChunkInstanceEngine engine(sub_problem, instance_options);
     util::Result<confl::ConflInstance> instance =
         engine.build(component.state, c);
+    report.guard.merge(engine.guard_report());
     if (!instance.ok()) return instance.status();
     util::Result<confl::ConflSolution> solution =
         confl::try_solve_confl(instance.value(), options_.approx.confl,

@@ -84,6 +84,10 @@ struct RepairReport {
   double local_seconds = 0.0;    // hop matrix + greedy re-hosting
   double resolve_seconds = 0.0;  // escalation ConFL solves
   double total_seconds = 0.0;
+  // Integrity-guard activity of the escalation engines, merged across all
+  // per-chunk re-solves (core/engine_guard.h). guard.clean() for any
+  // healthy pass.
+  CorruptionReport guard;
 
   bool complete() const { return chunks_unrepaired == 0; }
 };

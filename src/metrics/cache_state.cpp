@@ -69,4 +69,35 @@ int CacheState::total_stored() const {
   return total;
 }
 
+util::Status CacheState::verify_integrity() const {
+  if (producer_ < 0 || producer_ >= num_nodes()) {
+    return util::Status::invalid_input("cache state: producer out of range");
+  }
+  for (graph::NodeId v = 0; v < num_nodes(); ++v) {
+    const auto& chunks = stored_[static_cast<std::size_t>(v)];
+    if (v == producer_ && !chunks.empty()) {
+      return util::Status::invalid_input(
+          "cache state: producer stores chunks");
+    }
+    if (capacity(v) < 0) {
+      return util::Status::invalid_input("cache state: negative capacity");
+    }
+    if (used(v) > capacity(v)) {
+      return util::Status::invalid_input(
+          "cache state: node stores more than its capacity");
+    }
+    for (std::size_t k = 0; k < chunks.size(); ++k) {
+      if (chunks[k] < 0) {
+        return util::Status::invalid_input(
+            "cache state: negative chunk id");
+      }
+      if (k > 0 && chunks[k] <= chunks[k - 1]) {
+        return util::Status::invalid_input(
+            "cache state: chunk list not sorted/unique");
+      }
+    }
+  }
+  return util::Status();  // OK
+}
+
 }  // namespace faircache::metrics

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace faircache::metrics {
 
@@ -62,6 +63,21 @@ class CacheState {
   std::vector<int> stored_counts() const;
 
   int total_stored() const;
+
+  // Structural self-check of the placement state (the integrity-guard
+  // entry gate for mutating passes like core::PlacementRepairEngine;
+  // docs/ROBUSTNESS.md): valid producer, per-node usage within capacity,
+  // chunk lists sorted/unique/non-negative, nothing stored on the
+  // producer. kInvalidInput naming the first violation, OK otherwise.
+  // Every mutation through add()/remove() preserves these invariants; a
+  // failure means the state was corrupted out-of-band.
+  util::Status verify_integrity() const;
+
+  // Test-only fault hook (tests/integrity_test.cpp): appends `chunk` to
+  // v's list unchecked, bypassing every add() invariant.
+  void corrupt_for_testing(graph::NodeId v, ChunkId chunk) {
+    stored_[static_cast<std::size_t>(v)].push_back(chunk);
+  }
 
  private:
   std::vector<int> capacity_;

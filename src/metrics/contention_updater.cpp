@@ -1,6 +1,7 @@
 #include "metrics/contention_updater.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "graph/shortest_paths.h"
@@ -24,6 +25,8 @@ struct ContentionUpdater::Workspace {
   std::vector<int> child_end;
   std::vector<int> size;                 // subtree size in the BFS tree
   std::vector<double> diff;              // difference array over preorder
+  std::uint64_t chk = 0;                 // checksum delta of this worker's rows
+  std::uint64_t chk_tree = 0;            // tree-block digest (full builds)
   int generation = 0;
 
   void init(const std::vector<double>& weight) {
@@ -99,8 +102,12 @@ int ContentionUpdater::build_row_tree(NodeId i, double* row,
   return reach;
 }
 
-ContentionUpdater::ContentionUpdater(const graph::Graph& g, int threads)
-    : graph_(&g), threads_(threads), adj_(graph::build_csr(g)) {}
+ContentionUpdater::ContentionUpdater(const graph::Graph& g, int threads,
+                                     bool checksums)
+    : graph_(&g),
+      threads_(threads),
+      track_(checksums),
+      adj_(graph::build_csr(g)) {}
 
 ContentionUpdater::~ContentionUpdater() = default;
 
@@ -121,9 +128,11 @@ void ContentionUpdater::update(const CacheState& state) {
                   "cache state / graph size mismatch");
   std::vector<double> next = contention_weights(*graph_, state);
   if (!built_ || cost_.empty() || edge_cost_.empty()) {
-    // First use, or the taken buffers were never handed back.
-    build_full(next);
+    // First use, or the taken buffers were never handed back. weight_ must
+    // be current before the build: build_full seeds the maintained digest,
+    // which covers the weight block.
     weight_ = std::move(next);
+    build_full(weight_);
     built_ = true;
     return;
   }
@@ -135,6 +144,7 @@ void ContentionUpdater::update(const CacheState& state) {
   }
   if (deltas.empty()) return;
   weight_ = std::move(next);
+  if (track_) digest_.weight = weight_digest();
   apply_deltas(deltas);
 }
 
@@ -176,6 +186,11 @@ void ContentionUpdater::build_full(const std::vector<double>& weight) {
         NodeId* ord = order_[i];
         if (reach < static_cast<int>(n)) {
           std::fill(pre, pre + n, -1);
+          // The sweep never reads interval bounds or preorder slots of
+          // unreachable nodes, but the integrity digests cover the whole
+          // buffers — give the dead slots a defined value.
+          std::fill(end, end + n, 0);
+          std::fill(ord + reach, ord + n, graph::kInvalidNode);
         }
         pre[i] = 0;
         end[i] = reach;
@@ -193,6 +208,19 @@ void ContentionUpdater::build_full(const std::vector<double>& weight) {
             q += w.size[child];
           }
         }
+
+        if (track_) {
+          // Seed the maintained digests while the row is cache-hot; the
+          // partial sums are associative, so this matches
+          // recompute_digest() bit for bit at any thread count.
+          const std::uint64_t nn =
+              static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+          const std::uint64_t base = static_cast<std::uint64_t>(i) * n;
+          w.chk += util::digest_span(row, n, base);
+          w.chk_tree += util::digest_span(pre, n, base);
+          w.chk_tree += util::digest_span(end, n, nn + base);
+          w.chk_tree += util::digest_span(ord, n, 2 * nn + base);
+        }
       },
       threads);
 
@@ -207,6 +235,27 @@ void ContentionUpdater::build_full(const std::vector<double>& weight) {
   max_cost_ = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     max_cost_ = std::max(max_cost_, row_max_[i]);
+  }
+  // Assemble the maintained digests from the per-worker partials gathered
+  // inside the build loop; every later sweep keeps them current
+  // incrementally.
+  if (track_) {
+    const auto nn =
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+    util::StateDigest d;
+    d.cost = util::length_term(cost_.size());
+    d.tree = util::length_term(pre_.size() + end_.size() + order_.size() +
+                               reach_.size());
+    for (const Workspace& w : ws) {
+      d.cost += w.chk;
+      d.tree += w.chk_tree;
+    }
+    d.tree += util::digest_span(reach_.data(), reach_.size(), 3 * nn);
+    d.weight = weight_digest();
+    d.edge = util::length_term(edge_cost_.size()) +
+             util::digest_span(edge_cost_.data(), edge_cost_.size());
+    d.aux = aux_digest();
+    digest_ = d;
   }
   tree_build_seconds_ += timer.elapsed_seconds();
 }
@@ -224,10 +273,15 @@ void ContentionUpdater::apply_deltas(
     // idempotently).
     const auto node = static_cast<std::size_t>(k);
     for (int slot = adj_.offset[node]; slot < adj_.offset[node + 1]; ++slot) {
+      const auto e = static_cast<std::size_t>(adj_.incident[slot]);
       const graph::Edge& edge = graph_->edge(adj_.incident[slot]);
-      edge_cost_[static_cast<std::size_t>(adj_.incident[slot])] =
-          weight_[static_cast<std::size_t>(edge.u)] +
-          weight_[static_cast<std::size_t>(edge.v)];
+      const double fresh = weight_[static_cast<std::size_t>(edge.u)] +
+                           weight_[static_cast<std::size_t>(edge.v)];
+      if (track_) {
+        digest_.edge += util::replace_term(e, util::to_bits(edge_cost_[e]),
+                                           util::to_bits(fresh));
+      }
+      edge_cost_[e] = fresh;
     }
   }
 
@@ -266,11 +320,39 @@ void ContentionUpdater::apply_deltas(
         const NodeId* ord = order_[i];
         double acc = 0.0;
         double row_max = row_max_[i];  // valid lower bound: deltas ≥ 0 here
-        for (int p = first; p < last; ++p) {
-          acc += diff[p];
-          if (acc != 0.0) {
-            const double v = (row[static_cast<std::size_t>(ord[p])] += acc);
-            if (v > row_max) row_max = v;
+        if (track_) {
+          // Same arithmetic as the untracked loop below, plus the O(1)
+          // digest replace per touched entry (including the diagonal
+          // reset, whose transient value the sweep may have shifted).
+          const std::uint64_t slot0 =
+              static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(n);
+          std::uint64_t chk = 0;
+          for (int p = first; p < last; ++p) {
+            acc += diff[p];
+            if (acc != 0.0) {
+              const auto j = static_cast<std::size_t>(ord[p]);
+              const double old = row[j];
+              const double v = old + acc;
+              row[j] = v;
+              if (v > row_max) row_max = v;
+              chk += util::replace_term(slot0 + j, util::to_bits(old),
+                                        util::to_bits(v));
+            }
+          }
+          const double diag = row[i];
+          if (util::to_bits(diag) != util::to_bits(0.0)) {
+            chk += util::replace_term(
+                slot0 + static_cast<std::uint64_t>(i), util::to_bits(diag),
+                util::to_bits(0.0));
+          }
+          ws[static_cast<std::size_t>(worker)].chk += chk;
+        } else {
+          for (int p = first; p < last; ++p) {
+            acc += diff[p];
+            if (acc != 0.0) {
+              const double v = (row[static_cast<std::size_t>(ord[p])] += acc);
+              if (v > row_max) row_max = v;
+            }
           }
         }
         row[i] = 0.0;  // c_ii stays 0 (self access transmits nothing)
@@ -290,7 +372,114 @@ void ContentionUpdater::apply_deltas(
   for (std::size_t i = 0; i < n; ++i) {
     max_cost_ = std::max(max_cost_, row_max_[i]);
   }
+  if (track_) {
+    for (const Workspace& w : ws) digest_.cost += w.chk;
+    digest_.aux = aux_digest();
+  }
   delta_apply_seconds_ += timer.elapsed_seconds();
+}
+
+std::uint64_t ContentionUpdater::aux_digest() const {
+  const std::size_t n = row_max_.size();
+  return util::length_term(n + 1) + util::digest_span(row_max_.data(), n) +
+         util::contribution(n, util::to_bits(max_cost_));
+}
+
+std::uint64_t ContentionUpdater::weight_digest() const {
+  return util::length_term(weight_.size()) +
+         util::digest_span(weight_.data(), weight_.size());
+}
+
+util::StateDigest ContentionUpdater::recompute_digest() const {
+  util::StateDigest d;
+  const std::size_t n = cost_.rows();
+  const auto nn = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+  struct Partial {
+    std::uint64_t cost = 0;
+    std::uint64_t tree = 0;
+  };
+  const int threads = util::resolve_parallel_threads(threads_, n);
+  std::vector<Partial> part(static_cast<std::size_t>(std::max(threads, 1)));
+  util::parallel_for(
+      n,
+      [&](std::size_t i, int worker) {
+        Partial& p = part[static_cast<std::size_t>(worker)];
+        const std::uint64_t base = static_cast<std::uint64_t>(i) * n;
+        p.cost += util::digest_span(cost_[i], n, base);
+        p.tree += util::digest_span(pre_[i], n, base);
+        p.tree += util::digest_span(end_[i], n, nn + base);
+        p.tree += util::digest_span(order_[i], n, 2 * nn + base);
+      },
+      threads);
+  d.cost = util::length_term(cost_.size());
+  d.tree = util::length_term(pre_.size() + end_.size() + order_.size() +
+                             reach_.size());
+  for (const Partial& p : part) {  // associative: any worker order agrees
+    d.cost += p.cost;
+    d.tree += p.tree;
+  }
+  d.tree += util::digest_span(reach_.data(), reach_.size(), 3 * nn);
+  d.weight = weight_digest();
+  d.edge = util::length_term(edge_cost_.size()) +
+           util::digest_span(edge_cost_.data(), edge_cost_.size());
+  d.aux = aux_digest();
+  return d;
+}
+
+bool ContentionUpdater::verify_row(NodeId i) const {
+  const std::size_t n = cost_.rows();
+  if (i < 0 || static_cast<std::size_t>(i) >= n) return true;
+  Workspace ws;
+  ws.init(weight_);
+  std::vector<double> fresh(n);
+  build_row_tree(i, fresh.data(), ws);
+  return std::memcmp(fresh.data(), cost_[static_cast<std::size_t>(i)],
+                     n * sizeof(double)) == 0;
+}
+
+bool ContentionUpdater::corrupt_for_testing(
+    const util::StateCorruption& corruption) {
+  using Block = util::StateCorruption::Block;
+  if (!ready()) return false;
+  auto flip_double = [&](double* data, std::size_t count) {
+    double& slot = data[corruption.index % count];
+    slot = util::double_from_bits(util::to_bits(slot) ^ corruption.bits);
+  };
+  switch (corruption.block) {
+    case Block::kCost:
+      flip_double(cost_.data(), cost_.size());
+      return true;
+    case Block::kTree: {
+      const std::size_t total = pre_.size() + end_.size();
+      const std::size_t k = corruption.index % total;
+      int& slot = k < pre_.size() ? pre_.data()[k]
+                                  : end_.data()[k - pre_.size()];
+      slot ^= static_cast<int>(corruption.bits);
+      return true;
+    }
+    case Block::kOrder:
+      order_.data()[corruption.index % order_.size()] ^=
+          static_cast<graph::NodeId>(corruption.bits);
+      return true;
+    case Block::kWeight:
+      flip_double(weight_.data(), weight_.size());
+      return true;
+    case Block::kEdgeCost:
+      if (edge_cost_.empty()) return false;
+      flip_double(edge_cost_.data(), edge_cost_.size());
+      return true;
+    case Block::kTruncate: {
+      if (edge_cost_.empty()) return false;
+      const std::uint64_t want = corruption.bits == 0 ? 1 : corruption.bits;
+      const auto drop = static_cast<std::size_t>(
+          std::min<std::uint64_t>(want, edge_cost_.size()));
+      edge_cost_.resize(edge_cost_.size() - drop);
+      return true;
+    }
+    case Block::kEpoch:
+      return false;  // dense buffers carry no epoch stamp
+  }
+  return false;
 }
 
 }  // namespace faircache::metrics

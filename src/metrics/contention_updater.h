@@ -30,6 +30,7 @@
 #include "graph/graph.h"
 #include "metrics/cache_state.h"
 #include "metrics/contention.h"
+#include "util/integrity.h"
 #include "util/matrix.h"
 
 namespace faircache::metrics {
@@ -41,7 +42,11 @@ class ContentionUpdater {
   // Only PathPolicy::kHopShortest is supported — weight-dependent paths
   // (kMinContention) cannot be pinned. `threads` follows the
   // ContentionMatrix contract (0 = util::parallel_threads() default).
-  explicit ContentionUpdater(const graph::Graph& g, int threads = 0);
+  // `checksums` maintains the integrity digests below across builds and
+  // delta sweeps (~3 integer ops per touched entry); disable it only when
+  // no core::EngineGuard will ever audit this updater.
+  explicit ContentionUpdater(const graph::Graph& g, int threads = 0,
+                             bool checksums = true);
   ~ContentionUpdater();
 
   ContentionUpdater(const ContentionUpdater&) = delete;
@@ -76,6 +81,36 @@ class ContentionUpdater {
   double tree_build_seconds() const { return tree_build_seconds_; }
   double delta_apply_seconds() const { return delta_apply_seconds_; }
 
+  // --- Integrity-guard surface (core::EngineGuard; docs/ROBUSTNESS.md,
+  // "Integrity guard"). ---
+
+  // True once update() has built and the buffers are home (not taken).
+  bool ready() const { return built_ && !cost_.empty() && !pre_.empty(); }
+  bool checksums_enabled() const { return track_; }
+
+  // The digests the incremental bookkeeping believes are current. Only
+  // meaningful when checksums_enabled() and ready().
+  const util::StateDigest& maintained_digest() const { return digest_; }
+
+  // Recomputes every block digest from the actual buffers (parallel over
+  // rows, bit-identical at any thread count). Divergence from
+  // maintained_digest() means some state mutated outside update().
+  util::StateDigest recompute_digest() const;
+
+  // Stateless recompute of row i from the tracked weights (the exact
+  // kRebuild arithmetic); true when the stored row matches bitwise.
+  // Catches correctness-path corruption the checksums cannot see (a
+  // tampered weight keeps the bookkeeping self-consistent while every
+  // patched row drifts from the truth).
+  bool verify_row(graph::NodeId i) const;
+
+  // Test-only fault hook (sim::StateFaultInjector): mutates one guarded
+  // slot *without* updating the maintained checksums — exactly what a bit
+  // flip or dropped delta does. False when the corruption class does not
+  // apply to this engine (kEpoch — dense buffers carry no epoch stamp) or
+  // the updater has nothing built yet.
+  bool corrupt_for_testing(const util::StateCorruption& corruption);
+
  private:
   struct Workspace;  // per-worker scratch, defined in the .cpp
 
@@ -87,8 +122,14 @@ class ContentionUpdater {
   void build_full(const std::vector<double>& weight);
   void apply_deltas(const std::vector<std::pair<graph::NodeId, double>>& d);
 
+  // Digest of the aux block (row maxima + global max) — O(n), recomputed
+  // at the end of every sweep rather than maintained per entry.
+  std::uint64_t aux_digest() const;
+  std::uint64_t weight_digest() const;
+
   const graph::Graph* graph_ = nullptr;
   int threads_ = 0;
+  bool track_ = true;
   graph::CsrAdjacency adj_;
 
   util::Matrix<double> cost_;
@@ -107,6 +148,7 @@ class ContentionUpdater {
 
   std::vector<double> weight_;  // w_k(1+S(k)) the costs currently reflect
   bool built_ = false;
+  util::StateDigest digest_;  // maintained block checksums (track_ only)
 
   double tree_build_seconds_ = 0.0;
   double delta_apply_seconds_ = 0.0;

@@ -1,6 +1,8 @@
 #include "metrics/sparse_contention.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <utility>
 
 #include "graph/shortest_paths.h"
@@ -43,6 +45,7 @@ struct SparseContentionUpdater::Workspace {
   std::vector<std::int32_t> local;    // node id -> local slot in the row
   std::vector<NodeId> sorted;         // ascending-id copy of `order`
   std::vector<double> diff;           // difference array over preorder
+  std::uint64_t chk = 0;              // checksum delta of this worker's rows
   int generation = 0;
 
   void init(const std::vector<double>& weight) {
@@ -78,6 +81,13 @@ int SparseContentionUpdater::row_limit(NodeId i) const {
 
 void SparseContentionUpdater::restore(SparseContention store,
                                       std::vector<double> edge_cost) {
+  // Epoch check first, before any shape CHECK: a buffer taken against an
+  // older topology (different pinned trees, possibly a different shape)
+  // must degrade to a rebuild, not abort or — worse — patch stale trees.
+  if (store.epoch != epoch_) {
+    ++stale_restores_;
+    return;  // drop the stale buffers; the next update() rebuilds
+  }
   const auto n = static_cast<std::size_t>(graph_->num_nodes());
   FAIRCACHE_CHECK(store.row_offset.size() == n + 1 &&
                       store.packed.size() == pre_.size() &&
@@ -96,9 +106,11 @@ void SparseContentionUpdater::update(const CacheState& state) {
   std::vector<double> next = contention_weights(*graph_, state);
   if (!built_ || store_.empty() ||
       (edge_cost_.empty() && graph_->num_edges() > 0)) {
-    // First use, or the taken buffers were never handed back.
-    build_full(next);
+    // First use, or the taken buffers were never handed back. weight_ must
+    // be current before the build: build_full seeds the maintained digest,
+    // which covers the weight block.
     weight_ = std::move(next);
+    build_full(weight_);
     built_ = true;
     return;
   }
@@ -110,10 +122,16 @@ void SparseContentionUpdater::update(const CacheState& state) {
   }
   if (deltas.empty()) return;
   weight_ = std::move(next);
+  if (options_.checksums) digest_.weight = weight_digest();
   apply_deltas(deltas);
 }
 
 namespace {
+
+// Process-wide source of pinned-tree epochs: every build_full of every
+// sparse updater gets a distinct stamp, so a buffer can never be restored
+// into a different pinning than the one it was taken from.
+std::atomic<std::uint64_t> g_epoch_counter{0};
 
 // Region shards for the parallel build: nodes grouped by the Voronoi
 // region of ~64 evenly spaced seeds (one multi-source sweep over unit
@@ -344,6 +362,10 @@ void SparseContentionUpdater::build_full(const std::vector<double>& weight) {
   for (std::size_t i = 0; i < n; ++i) {
     store_.max_cost = std::max(store_.max_cost, row_max_[i]);
   }
+  store_.epoch = epoch_ = ++g_epoch_counter;
+  // One extra parallel pass per full build seeds the maintained digests;
+  // every later sweep keeps them current incrementally.
+  if (options_.checksums) digest_ = recompute_digest();
   tree_build_seconds_ += timer.elapsed_seconds();
 }
 
@@ -360,13 +382,19 @@ void SparseContentionUpdater::apply_deltas(
     // idempotently).
     const auto node = static_cast<std::size_t>(k);
     for (int slot = adj_.offset[node]; slot < adj_.offset[node + 1]; ++slot) {
+      const auto e = static_cast<std::size_t>(adj_.incident[slot]);
       const graph::Edge& edge = graph_->edge(adj_.incident[slot]);
-      edge_cost_[static_cast<std::size_t>(adj_.incident[slot])] =
-          weight_[static_cast<std::size_t>(edge.u)] +
-          weight_[static_cast<std::size_t>(edge.v)];
+      const double fresh = weight_[static_cast<std::size_t>(edge.u)] +
+                           weight_[static_cast<std::size_t>(edge.v)];
+      if (options_.checksums) {
+        digest_.edge += util::replace_term(e, util::to_bits(edge_cost_[e]),
+                                           util::to_bits(fresh));
+      }
+      edge_cost_[e] = fresh;
     }
   }
 
+  const bool track = options_.checksums;
   const int threads = util::resolve_parallel_threads(options_.threads, n);
   // Per-worker difference arrays over preorder positions, zeroed once and
   // re-zeroed after every row by undoing exactly the scattered entries.
@@ -444,11 +472,36 @@ void SparseContentionUpdater::apply_deltas(
         const std::uint32_t* ord = order_.data() + rb;
         double acc = 0.0;
         double row_max = row_max_[i];  // valid lower bound: deltas ≥ 0 here
-        for (int p = first; p < last; ++p) {
-          acc += diff[p];
-          if (acc != 0.0) {
-            const double v = (cost[ord[p]] += acc);
-            if (v > row_max) row_max = v;
+        if (track) {
+          // Same arithmetic as the untracked loop below, plus the O(1)
+          // digest replace per touched entry. Cost slots are global CSR
+          // indices: row base + local (ascending-col) slot.
+          const auto slot0 = static_cast<std::uint64_t>(rb);
+          std::uint64_t chk = 0;
+          for (int p = first; p < last; ++p) {
+            acc += diff[p];
+            if (acc != 0.0) {
+              const double old = cost[ord[p]];
+              const double v = old + acc;
+              cost[ord[p]] = v;
+              if (v > row_max) row_max = v;
+              chk += util::replace_term(slot0 + ord[p], util::to_bits(old),
+                                        util::to_bits(v));
+            }
+          }
+          const double diag = cost[ord[0]];
+          if (util::to_bits(diag) != util::to_bits(0.0)) {
+            chk += util::replace_term(slot0 + ord[0], util::to_bits(diag),
+                                      util::to_bits(0.0));
+          }
+          ws[static_cast<std::size_t>(worker)].chk += chk;
+        } else {
+          for (int p = first; p < last; ++p) {
+            acc += diff[p];
+            if (acc != 0.0) {
+              const double v = (cost[ord[p]] += acc);
+              if (v > row_max) row_max = v;
+            }
           }
         }
         cost[ord[0]] = 0.0;  // c_ii stays 0 (self access transmits nothing)
@@ -480,7 +533,192 @@ void SparseContentionUpdater::apply_deltas(
   for (std::size_t i = 0; i < n; ++i) {
     store_.max_cost = std::max(store_.max_cost, row_max_[i]);
   }
+  if (track) {
+    for (const Workspace& w : ws) digest_.cost += w.chk;
+    digest_.aux = aux_digest();
+  }
   delta_apply_seconds_ += timer.elapsed_seconds();
+}
+
+std::uint64_t SparseContentionUpdater::aux_digest() const {
+  const std::size_t n = row_max_.size();
+  std::uint64_t d = util::length_term(n + 5) +
+                    util::digest_span(row_max_.data(), n);
+  d += util::contribution(n, util::to_bits(store_.max_cost));
+  d += util::contribution(n + 1, store_.epoch);
+  d += util::contribution(n + 2, util::to_bits(store_.num_nodes));
+  d += util::contribution(n + 3, util::to_bits(store_.radius));
+  d += util::contribution(n + 4, util::to_bits(store_.full_row));
+  return d;
+}
+
+std::uint64_t SparseContentionUpdater::weight_digest() const {
+  return util::length_term(weight_.size()) +
+         util::digest_span(weight_.data(), weight_.size());
+}
+
+util::StateDigest SparseContentionUpdater::recompute_digest() const {
+  util::StateDigest d;
+  const std::size_t n = row_max_.size();
+  const auto nnz = static_cast<std::uint64_t>(store_.cost.size());
+  struct Partial {
+    std::uint64_t cost = 0;
+    std::uint64_t tree = 0;
+  };
+  const int threads = util::resolve_parallel_threads(options_.threads, n);
+  std::vector<Partial> part(static_cast<std::size_t>(std::max(threads, 1)));
+  // Tree slot layout: row_offset at [0, n], then packed / pre_ / end_ /
+  // order_ as consecutive nnz-sized blocks.
+  const std::uint64_t base_packed = static_cast<std::uint64_t>(n) + 1;
+  // Spans are clamped to the actual array sizes: a truncated (or
+  // offset-corrupted) buffer must still be *audit-safe* — the length terms
+  // and the missing contributions flag the mismatch, the recompute itself
+  // never reads out of bounds.
+  auto clamped = [](auto* data, std::size_t size, std::int64_t lo,
+                    std::int64_t hi, std::uint64_t slot0) -> std::uint64_t {
+    const auto b = static_cast<std::size_t>(std::clamp<std::int64_t>(
+        lo, 0, static_cast<std::int64_t>(size)));
+    const auto e = static_cast<std::size_t>(std::clamp<std::int64_t>(
+        hi, static_cast<std::int64_t>(b), static_cast<std::int64_t>(size)));
+    return util::digest_span(data + b, e - b, slot0 + b);
+  };
+  util::parallel_for(
+      n,
+      [&](std::size_t i, int worker) {
+        Partial& p = part[static_cast<std::size_t>(worker)];
+        const std::int64_t rb = store_.row_offset[i];
+        const std::int64_t re = store_.row_offset[i + 1];
+        p.cost += clamped(store_.cost.data(), store_.cost.size(), rb, re, 0);
+        p.tree += clamped(store_.packed.data(), store_.packed.size(), rb, re,
+                          base_packed);
+        p.tree += clamped(pre_.data(), pre_.size(), rb, re, base_packed + nnz);
+        p.tree += clamped(end_.data(), end_.size(), rb, re,
+                          base_packed + 2 * nnz);
+        p.tree += clamped(order_.data(), order_.size(), rb, re,
+                          base_packed + 3 * nnz);
+      },
+      threads);
+  d.cost = util::length_term(store_.cost.size());
+  d.tree = util::length_term(store_.row_offset.size() + store_.packed.size() +
+                             pre_.size() + end_.size() + order_.size());
+  for (const Partial& p : part) {  // associative: any worker order agrees
+    d.cost += p.cost;
+    d.tree += p.tree;
+  }
+  d.tree += util::digest_span(store_.row_offset.data(),
+                              store_.row_offset.size());
+  d.weight = weight_digest();
+  d.edge = util::length_term(edge_cost_.size()) +
+           util::digest_span(edge_cost_.data(), edge_cost_.size());
+  d.aux = aux_digest();
+  return d;
+}
+
+bool SparseContentionUpdater::verify_row(NodeId i) const {
+  const auto n = static_cast<std::size_t>(graph_->num_nodes());
+  if (i < 0 || static_cast<std::size_t>(i) >= n) return true;
+  const auto ui = static_cast<std::size_t>(i);
+  const std::int64_t rb = store_.row_offset[ui];
+  const std::int64_t re = store_.row_offset[ui + 1];
+  if (rb < 0 || re < rb ||
+      re > static_cast<std::int64_t>(store_.cost.size()) ||
+      re > static_cast<std::int64_t>(store_.packed.size())) {
+    return false;  // offsets promise entries the value arrays lack
+  }
+  const auto reach_stored = static_cast<std::size_t>(re - rb);
+
+  // Stateless recompute: the exact truncated BFS of build_full's pass 2.
+  Workspace w;
+  w.init(weight_);
+  const int* offset = adj_.offset.data();
+  const NodeId* neighbor = adj_.neighbor.data();
+  const int limit = row_limit(i);
+  const int gen = ++w.generation;
+  w.order.clear();
+  auto* node = w.node.data();
+  w.cost[ui] = 0.0;
+  w.depth[ui] = 0;
+  node[ui].stamp = gen;
+  w.order.push_back(i);
+  for (std::size_t head = 0; head < w.order.size(); ++head) {
+    const NodeId v = w.order[head];
+    const auto uv = static_cast<std::size_t>(v);
+    if (w.depth[uv] >= limit) continue;
+    const double base = v == i ? node[ui].weight : w.cost[uv];
+    const int end = offset[v + 1];
+    for (int e = offset[v]; e < end; ++e) {
+      const auto wi = static_cast<std::size_t>(neighbor[e]);
+      if (node[wi].stamp == gen) continue;
+      node[wi].stamp = gen;
+      w.cost[wi] = base + node[wi].weight;
+      w.depth[wi] = w.depth[uv] + 1;
+      w.order.push_back(neighbor[e]);
+    }
+  }
+  if (w.order.size() != reach_stored) return false;
+  w.sorted.assign(w.order.begin(), w.order.end());
+  std::sort(w.sorted.begin(), w.sorted.end());
+  const std::uint32_t* packed = store_.packed.data() + rb;
+  const double* cost = store_.cost.data() + rb;
+  for (std::size_t s = 0; s < reach_stored; ++s) {
+    const NodeId j = w.sorted[s];
+    const auto uj = static_cast<std::size_t>(j);
+    const auto hop = static_cast<std::uint32_t>(std::min(w.depth[uj], 255));
+    const std::uint32_t want =
+        (static_cast<std::uint32_t>(j) << SparseContention::kHopBits) | hop;
+    if (packed[s] != want) return false;
+    if (util::to_bits(cost[s]) != util::to_bits(w.cost[uj])) return false;
+  }
+  return true;
+}
+
+bool SparseContentionUpdater::corrupt_for_testing(
+    const util::StateCorruption& corruption) {
+  using Block = util::StateCorruption::Block;
+  if (!ready()) return false;
+  auto flip_double = [&](double* data, std::size_t count) {
+    double& slot = data[corruption.index % count];
+    slot = util::double_from_bits(util::to_bits(slot) ^ corruption.bits);
+  };
+  switch (corruption.block) {
+    case Block::kCost:
+      flip_double(store_.cost.data(), store_.cost.size());
+      return true;
+    case Block::kTree: {
+      const std::size_t total = pre_.size() + end_.size();
+      const std::size_t k = corruption.index % total;
+      std::int32_t& slot =
+          k < pre_.size() ? pre_[k] : end_[k - pre_.size()];
+      slot ^= static_cast<std::int32_t>(corruption.bits);
+      return true;
+    }
+    case Block::kOrder:
+      order_[corruption.index % order_.size()] ^=
+          static_cast<std::uint32_t>(corruption.bits);
+      return true;
+    case Block::kWeight:
+      flip_double(weight_.data(), weight_.size());
+      return true;
+    case Block::kEdgeCost:
+      if (edge_cost_.empty()) return false;
+      flip_double(edge_cost_.data(), edge_cost_.size());
+      return true;
+    case Block::kTruncate: {
+      // Classic truncation: the CSR value arrays lose a tail while
+      // row_offset still promises the full length.
+      const std::uint64_t want = corruption.bits == 0 ? 1 : corruption.bits;
+      const auto drop = static_cast<std::size_t>(
+          std::min<std::uint64_t>(want, store_.cost.size()));
+      if (drop == 0) return false;
+      store_.cost.resize(store_.cost.size() - drop);
+      store_.packed.resize(store_.packed.size() - drop);
+      return true;
+    }
+    case Block::kEpoch:
+      store_.epoch ^= corruption.bits == 0 ? 1 : corruption.bits;
+      return true;
+  }
+  return false;
 }
 
 }  // namespace faircache::metrics

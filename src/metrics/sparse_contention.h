@@ -39,6 +39,7 @@
 
 #include "graph/graph.h"
 #include "metrics/cache_state.h"
+#include "util/integrity.h"
 #include "util/matrix.h"
 
 namespace faircache::metrics {
@@ -63,6 +64,11 @@ struct SparseContention {
   int num_nodes = 0;
   int radius = 0;  // ≤ 0 = unbounded (every row full)
   graph::NodeId full_row = graph::kInvalidNode;  // row built untruncated
+  // Build stamp of the pinning updater (process-unique, monotone). A
+  // restore() whose stamp does not match the updater's current pinned
+  // trees — a buffer taken against an older topology or an earlier
+  // rebuild — is dropped and the next update() rebuilds from scratch.
+  std::uint64_t epoch = 0;
   std::vector<std::int64_t> row_offset;  // size n + 1
   std::vector<std::uint32_t> packed;     // (col << 8) | hop, ascending col
   std::vector<double> cost;              // aligned with `packed`
@@ -93,6 +99,10 @@ struct SparseContentionOptions {
   // Worker threads for builds and delta sweeps (0 = the
   // util::parallel_threads() default). Bit-identical at any setting.
   int threads = 0;
+  // Maintain integrity digests across builds and delta sweeps (~3 integer
+  // ops per touched entry); disable only when no core::EngineGuard will
+  // ever audit this updater.
+  bool checksums = true;
 };
 
 // Incremental sparse-contention maintenance across a chunk loop — the
@@ -133,6 +143,36 @@ class SparseContentionUpdater {
   double tree_build_seconds() const { return tree_build_seconds_; }
   double delta_apply_seconds() const { return delta_apply_seconds_; }
 
+  // --- Integrity-guard surface (core::EngineGuard; docs/ROBUSTNESS.md,
+  // "Integrity guard"). ---
+
+  // True once update() has built and the buffers are home (not taken).
+  bool ready() const { return built_ && !store_.empty() && !pre_.empty(); }
+  bool checksums_enabled() const { return options_.checksums; }
+
+  // The digests the incremental bookkeeping believes are current. Only
+  // meaningful when checksums_enabled() and ready().
+  const util::StateDigest& maintained_digest() const { return digest_; }
+
+  // Recomputes every block digest from the actual buffers (parallel over
+  // rows, bit-identical at any thread count). Divergence from
+  // maintained_digest() means some state mutated outside update().
+  util::StateDigest recompute_digest() const;
+
+  // Stateless recompute of row i's truncated BFS from the tracked weights
+  // (the exact kRebuild arithmetic); true when the stored packed entries
+  // and costs match bitwise.
+  bool verify_row(graph::NodeId i) const;
+
+  // Test-only fault hook (sim::StateFaultInjector): mutates one guarded
+  // slot *without* updating the maintained checksums. False when the
+  // corruption class does not apply or nothing is built yet.
+  bool corrupt_for_testing(const util::StateCorruption& corruption);
+
+  // Restores dropped because the buffer's epoch stamp did not match the
+  // current pinned trees (each drop forces a rebuild on the next update).
+  int stale_restores() const { return stale_restores_; }
+
  private:
   struct Workspace;  // per-worker scratch, defined in the .cpp
 
@@ -141,6 +181,11 @@ class SparseContentionUpdater {
 
   void build_full(const std::vector<double>& weight);
   void apply_deltas(const std::vector<std::pair<graph::NodeId, double>>& d);
+
+  // Digest of the aux block (row maxima, global max, and the store's
+  // epoch/shape scalars) — O(n), recomputed after every sweep.
+  std::uint64_t aux_digest() const;
+  std::uint64_t weight_digest() const;
 
   const graph::Graph* graph_ = nullptr;
   SparseContentionOptions options_;
@@ -166,6 +211,12 @@ class SparseContentionUpdater {
 
   std::vector<double> weight_;  // w_k(1+S(k)) the costs currently reflect
   bool built_ = false;
+  util::StateDigest digest_;  // maintained block checksums (checksums only)
+
+  // Epoch of the currently pinned trees (assigned fresh per build_full
+  // from a process-wide counter) and the stale-restore drop count.
+  std::uint64_t epoch_ = 0;
+  int stale_restores_ = 0;
 
   double tree_build_seconds_ = 0.0;
   double delta_apply_seconds_ = 0.0;

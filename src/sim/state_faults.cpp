@@ -1,0 +1,93 @@
+#include "sim/state_faults.h"
+
+#include <utility>
+
+#include "util/rng.h"
+
+namespace faircache::sim {
+
+util::Status validate_state_fault_plan(const StateFaultPlan& plan) {
+  for (const StateFault& fault : plan.faults) {
+    if (fault.build < 1) {
+      return util::Status::invalid_input(
+          "state fault scheduled before build 1");
+    }
+  }
+  return util::Status();  // OK
+}
+
+namespace {
+
+// Maps one scheduled fault to the concrete corruption descriptor. The
+// slot index is drawn uniformly (the engines reduce it mod the block
+// size); the XOR mask targets bits that change the value without
+// producing traps: mantissa-range bits for doubles, low bits for the
+// integer tree/order arrays.
+util::StateCorruption make_corruption(StateFaultClass cls,
+                                      std::uint64_t& rng) {
+  using Block = util::StateCorruption::Block;
+  util::StateCorruption c;
+  c.index = util::splitmix64(rng);
+  const std::uint64_t r = util::splitmix64(rng);
+  switch (cls) {
+    case StateFaultClass::kCostBitFlip:
+      c.block = Block::kCost;
+      c.bits = 1ULL << (16 + r % 36);  // mantissa bits: finite stays finite
+      break;
+    case StateFaultClass::kTreeBitFlip:
+      c.block = Block::kTree;
+      c.bits = 1ULL << (r % 8);
+      break;
+    case StateFaultClass::kOrderBitFlip:
+      c.block = Block::kOrder;
+      c.bits = 1ULL << (r % 8);
+      break;
+    case StateFaultClass::kDroppedDelta:
+      c.block = Block::kWeight;
+      c.bits = 1ULL << (16 + r % 36);
+      break;
+    case StateFaultClass::kEdgeCostBitFlip:
+      c.block = Block::kEdgeCost;
+      c.bits = 1ULL << (16 + r % 36);
+      break;
+    case StateFaultClass::kTruncatedBuffer:
+      c.block = Block::kTruncate;
+      c.bits = 1 + r % 3;  // drop 1–3 trailing entries
+      break;
+    case StateFaultClass::kStaleEpochRestore:
+      c.block = Block::kEpoch;
+      c.bits = 1 + r % 255;  // any nonzero stamp delta
+      break;
+  }
+  return c;
+}
+
+}  // namespace
+
+StateFaultInjector::StateFaultInjector(StateFaultPlan plan)
+    : plan_(std::move(plan)) {}
+
+void StateFaultInjector::attach(core::InstanceOptions& options) {
+  options.pre_build_hook = [this](core::ChunkInstanceEngine& engine,
+                                  int build) { inject(engine, build); };
+}
+
+void StateFaultInjector::inject(core::ChunkInstanceEngine& engine,
+                                int build) {
+  for (std::size_t f = 0; f < plan_.faults.size(); ++f) {
+    const StateFault& fault = plan_.faults[f];
+    if (fault.build != build) continue;
+    // Per-fault stream: reproducible regardless of which faults the
+    // engine's mode ends up accepting.
+    std::uint64_t rng = plan_.seed ^ (0x9e3779b97f4a7c15ULL * (f + 1));
+    const util::StateCorruption corruption =
+        make_corruption(fault.cls, rng);
+    if (engine.corrupt_for_testing(corruption)) {
+      ++injected_;
+    } else {
+      ++skipped_;
+    }
+  }
+}
+
+}  // namespace faircache::sim

@@ -1,0 +1,15 @@
+#include "util/integrity.h"
+
+namespace faircache::util {
+
+const char* first_digest_mismatch(const StateDigest& have,
+                                  const StateDigest& want) {
+  if (have.cost != want.cost) return "cost";
+  if (have.tree != want.tree) return "tree";
+  if (have.weight != want.weight) return "weight";
+  if (have.edge != want.edge) return "edge";
+  if (have.aux != want.aux) return "aux";
+  return nullptr;
+}
+
+}  // namespace faircache::util

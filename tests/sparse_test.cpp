@@ -282,6 +282,62 @@ TEST(SparseContentionTest, LostBuffersFallBackToFullRebuild) {
   expect_matches_dense(g, updater, state);
 }
 
+TEST(SparseContentionTest, CrossTopologyRestoreTriggersRebuild) {
+  // Buffers taken from an updater built on one topology must never be
+  // grafted onto an updater whose graph has since changed: the pinned
+  // trees and edge costs are stale. The epoch stamp catches this and the
+  // receiving updater falls back to a full rebuild.
+  util::Rng rng(101);
+  const Graph g1 = graph::make_grid(6, 6);
+  const Graph g2 = graph::make_erdos_renyi(36, 0.12, rng);  // same n
+  SparseContentionOptions options;
+  options.radius = 2;
+  options.full_row = 0;
+
+  SparseContentionUpdater u1(g1, options);
+  SparseContentionUpdater u2(g2, options);
+  CacheState state(36, 3, /*producer=*/0);
+  u1.update(state);
+  u2.update(state);
+
+  (void)u2.take_store();  // u2's own buffers are lost...
+  (void)u2.take_edge_costs();
+  u2.restore(u1.take_store(), u1.take_edge_costs());  // ...and g1's offered
+  EXPECT_EQ(u2.stale_restores(), 1);
+  EXPECT_TRUE(u2.store().empty());  // stale buffers dropped, not adopted
+
+  state.add(7, 1);
+  u2.update(state);  // full rebuild on g2
+  expect_matches_dense(g2, u2, state);
+  SparseContentionUpdater fresh(g2, options);
+  fresh.update(state);
+  EXPECT_EQ(store_hash(u2.store()), store_hash(fresh.store()));
+}
+
+TEST(SparseContentionTest, RestoreAfterRebuildIsDroppedAsStale) {
+  // take → (updater rebuilds for itself) → restore of the old buffers:
+  // the rebuild minted a new epoch, so the late hand-back is stale and
+  // must not clobber the fresher state.
+  const Graph g = graph::make_grid(6, 6);
+  SparseContentionOptions options;
+  options.radius = 2;
+  options.full_row = 0;
+  SparseContentionUpdater updater(g, options);
+  CacheState state(g.num_nodes(), 3, /*producer=*/0);
+  updater.update(state);
+
+  SparseContention old_store = updater.take_store();
+  std::vector<double> old_edges = updater.take_edge_costs();
+  state.add(3, 0);
+  updater.update(state);  // rebuilds, bumping the updater's epoch
+  const std::uint64_t fresh_hash = store_hash(updater.store());
+
+  updater.restore(std::move(old_store), std::move(old_edges));
+  EXPECT_EQ(updater.stale_restores(), 1);
+  EXPECT_EQ(store_hash(updater.store()), fresh_hash);  // kept its own state
+  expect_matches_dense(g, updater, state);
+}
+
 TEST(SparseContentionTest, ThreadCountNeverChangesAnyBit) {
   util::Rng rng(47);
   const Graph g = graph::make_erdos_renyi(90, 0.07, rng);
