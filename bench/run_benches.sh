@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Runs the solver-core microbenchmarks (BENCH_solver_core.json), the
 # anytime-budget ablation (BENCH_abl_deadline.txt), the churn-repair
-# ablation (BENCH_abl_churn.txt) and the sparse-contention ablation
-# (BENCH_abl_sparse.txt) and writes them at the repo root. Usage:
+# ablation (BENCH_abl_churn.txt), the sparse-contention ablation
+# (BENCH_abl_sparse.txt) and the trace-serving ablation
+# (BENCH_abl_serving.txt) and writes them at the repo root. Usage:
 #
 #   bench/run_benches.sh [build-dir]
 #
 # The build dir defaults to ./build and must already contain
-# bench/bench_solver_core, bench/abl_deadline, bench/abl_churn and
-# bench/abl_sparse (configure with the top-level CMakeLists and build
-# those targets first).
+# bench/bench_solver_core, bench/abl_deadline, bench/abl_churn,
+# bench/abl_sparse and bench/abl_serving (configure with the top-level
+# CMakeLists and build those targets first).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,6 +19,7 @@ bench_bin="${build_dir}/bench/bench_solver_core"
 deadline_bin="${build_dir}/bench/abl_deadline"
 churn_bin="${build_dir}/bench/abl_churn"
 sparse_bin="${build_dir}/bench/abl_sparse"
+serving_bin="${build_dir}/bench/abl_serving"
 
 if [[ ! -x "${bench_bin}" ]]; then
   echo "error: ${bench_bin} not found; build the bench_solver_core target" >&2
@@ -33,6 +35,10 @@ if [[ ! -x "${churn_bin}" ]]; then
 fi
 if [[ ! -x "${sparse_bin}" ]]; then
   echo "error: ${sparse_bin} not found; build the abl_sparse target" >&2
+  exit 1
+fi
+if [[ ! -x "${serving_bin}" ]]; then
+  echo "error: ${serving_bin} not found; build the abl_serving target" >&2
   exit 1
 fi
 
@@ -56,3 +62,7 @@ echo "wrote ${repo_root}/BENCH_abl_churn.txt"
 "${sparse_bin}" > "${repo_root}/BENCH_abl_sparse.txt"
 
 echo "wrote ${repo_root}/BENCH_abl_sparse.txt"
+
+"${serving_bin}" > "${repo_root}/BENCH_abl_serving.txt"
+
+echo "wrote ${repo_root}/BENCH_abl_serving.txt"

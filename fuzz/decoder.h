@@ -16,6 +16,7 @@
 #include "core/approx.h"
 #include "core/problem.h"
 #include "graph/graph.h"
+#include "sim/serving.h"
 
 namespace faircache::fuzz {
 
@@ -42,6 +43,8 @@ struct DecodedProblem {
   graph::Graph network;
   core::FairCachingProblem problem;
   core::ApproxConfig config;
+  sim::ServingConfig serving;  // solver options mirrored into .online.approx
+  bool serving_adaptive = false;  // drive the adaptive-gradient policy
 };
 
 inline void decode_problem(const std::uint8_t* data, std::size_t size,
@@ -112,6 +115,27 @@ inline void decode_problem(const std::uint8_t* data, std::size_t size,
   out.config.instance.guard.budget_share = 1.0;
   out.config.confl.threads = 1;
   out.config.instance.threads = 1;
+
+  // The serving byte drives the trace-replay harness (fuzz_serving): bit 0
+  // picks the replacement policy, bit 1 enables demand drift, bits 2–3 the
+  // re-optimization cadence, bits 4–6 the replay length (32..256
+  // requests), and the high bit swaps in the adaptive-gradient external
+  // policy. The byte doubles as the trace seed so distinct inputs replay
+  // distinct request streams.
+  const std::uint8_t serving_byte = in.u8();
+  out.serving.online.replacement =
+      (serving_byte & 0x1) != 0 ? core::ReplacementPolicy::kEvictOldest
+                                : core::ReplacementPolicy::kNone;
+  out.serving.requests = 32 + 32 * ((serving_byte >> 4) & 0x7);
+  out.serving.drift_every = (serving_byte & 0x2) != 0 ? 17 : 0;
+  out.serving.reopt_every =
+      ((serving_byte >> 2) & 0x3) == 0 ? 0 : 40 * ((serving_byte >> 2) & 0x3);
+  out.serving.reopt_work_cap = 64;  // constantly expires mid-solve
+  out.serving.adapt_every = 16;
+  out.serving.samples = 4;
+  out.serving.seed = serving_byte;
+  out.serving_adaptive = (serving_byte & 0x80) != 0;
+  out.serving.online.approx = out.config;
 
   // Edge list: consume the rest of the input as endpoint pairs. Self
   // loops and duplicates are rejected by try_add_edge (statuses ignored

@@ -21,4 +21,10 @@ int run_instance_target(const std::uint8_t* data, std::size_t size);
 // throw.
 int run_solve_target(const std::uint8_t* data, std::size_t size);
 
+// Decode → replay a short serving trace (online driver or the
+// adaptive-gradient policy, per the serving byte). Verifies exact request
+// accounting, capacity feasibility of the final placement, and typed
+// errors only.
+int run_serving_target(const std::uint8_t* data, std::size_t size);
+
 }  // namespace faircache::fuzz

@@ -249,6 +249,55 @@ void ChunkInstanceEngine::reclaim(confl::ConflInstance&& instance) {
   }
 }
 
+util::Status ChunkInstanceEngine::sync(const metrics::CacheState& state) {
+  if (!init_status_.ok()) return init_status_;
+  if (problem_->network == nullptr) {
+    return util::Status::invalid_input("problem needs a network");
+  }
+  if (state.num_nodes() != problem_->network->num_nodes()) {
+    return util::Status::invalid_input("state / network size mismatch");
+  }
+  if (updater_ != nullptr) {
+    const double tree_before = updater_->tree_build_seconds();
+    const double delta_before = updater_->delta_apply_seconds();
+    updater_->update(state);
+    stats_.tree_seconds += updater_->tree_build_seconds() - tree_before;
+    stats_.delta_seconds += updater_->delta_apply_seconds() - delta_before;
+  } else if (sparse_updater_ != nullptr) {
+    const double tree_before = sparse_updater_->tree_build_seconds();
+    const double delta_before = sparse_updater_->delta_apply_seconds();
+    sparse_updater_->update(state);
+    stats_.tree_seconds +=
+        sparse_updater_->tree_build_seconds() - tree_before;
+    stats_.delta_seconds +=
+        sparse_updater_->delta_apply_seconds() - delta_before;
+  } else {
+    std::vector<int> counts = state.stored_counts();
+    if (query_matrix_ == nullptr || counts != query_counts_) {
+      util::Stopwatch timer;
+      query_matrix_ = std::make_unique<metrics::ContentionMatrix>(
+          *problem_->network, state, options_.path_policy, options_.threads);
+      query_counts_ = std::move(counts);
+      stats_.tree_seconds += timer.elapsed_seconds();
+    }
+  }
+  return util::Status();  // OK
+}
+
+bool ChunkInstanceEngine::query_ready() const {
+  if (updater_ != nullptr) return updater_->ready();
+  if (sparse_updater_ != nullptr) return sparse_updater_->ready();
+  return query_matrix_ != nullptr;
+}
+
+double ChunkInstanceEngine::query_cost(graph::NodeId i,
+                                       graph::NodeId j) const {
+  FAIRCACHE_DCHECK(query_ready());
+  if (updater_ != nullptr) return updater_->cost(i, j);
+  if (sparse_updater_ != nullptr) return sparse_updater_->store().cost_at(i, j);
+  return query_matrix_->cost(i, j);
+}
+
 void ChunkInstanceEngine::guard_tick(int build_index) {
   if (!options_.guard.enabled) return;
   const double build_seconds = stats_.tree_seconds + stats_.delta_seconds;

@@ -152,6 +152,27 @@ class ChunkInstanceEngine {
   // kIncremental / kSparse modes.
   void reclaim(confl::ConflInstance&& instance);
 
+  // Query-only synchronisation: brings the engine's contention costs in
+  // line with `state` WITHOUT building a ConflInstance, so point queries
+  // stay O(log row) instead of an n×n materialisation per caller
+  // (core::OnlineFairCaching::access_cost / fetch, sim::ServingEngine).
+  // kIncremental / kSparse delta-patch the live updater (the first call
+  // pays the full build); the kRebuild fallback keeps a private dense
+  // matrix that is rebuilt only when the stored counts actually changed.
+  // kInvalidInput for a state sized for a different network. Audits ride
+  // build()'s cadence only — sync() never consumes guard budget.
+  util::Status sync(const metrics::CacheState& state);
+
+  // True once sync() (or a build()/reclaim() round-trip) has costs home
+  // and query_cost() may be called.
+  bool query_ready() const;
+
+  // Path contention cost c_ij against the last synced state. kSparse rows
+  // answer graph::kInfCost for pairs outside the contention radius (the
+  // producer's row is always full, so a producer fallback stays finite).
+  // Requires query_ready().
+  double query_cost(graph::NodeId i, graph::NodeId j) const;
+
   // True when build() delta-patches (kIncremental or kSparse under
   // hop-shortest paths).
   bool incremental() const {
@@ -192,6 +213,11 @@ class ChunkInstanceEngine {
   // At most one of these is non-null, per mode_used_.
   std::unique_ptr<metrics::ContentionUpdater> updater_;
   std::unique_ptr<metrics::SparseContentionUpdater> sparse_updater_;
+  // kRebuild-mode query cache for sync()/query_cost(): the dense matrix of
+  // the last synced state plus the stored counts it reflects (rebuilt only
+  // when they change). Never set in the stateful modes.
+  std::unique_ptr<metrics::ContentionMatrix> query_matrix_;
+  std::vector<int> query_counts_;
   InstanceBuildStats stats_;
   EngineGuard guard_;
   int builds_ = 0;          // build() calls so far (1-based index source)

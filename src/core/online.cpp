@@ -1,6 +1,7 @@
 #include "core/online.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "confl/confl.h"
 #include "graph/shortest_paths.h"
@@ -14,16 +15,24 @@ OnlineFairCaching::OnlineFairCaching(const FairCachingProblem& problem,
     : problem_(problem),
       config_(std::move(config)),
       state_(problem.make_initial_state()),
+      engine_(problem_, config_.approx.instance),
       ages_(static_cast<std::size_t>(state_.num_nodes())) {
   FAIRCACHE_CHECK(problem_.network != nullptr, "problem needs a network");
 }
 
-OnlineStepResult OnlineFairCaching::insert_chunk(metrics::ChunkId chunk) {
-  OnlineStepResult step;
-  step.chunk = chunk;
+util::Result<OnlineStepResult> OnlineFairCaching::try_insert_chunk(
+    metrics::ChunkId chunk) {
+  if (chunk < 0) {
+    return util::Status::invalid_input("negative chunk id");
+  }
+  if (published_.count(chunk) != 0) {
+    return util::Status::invalid_input(
+        "chunk id is already published; retire it before re-inserting");
+  }
 
-  confl::ConflInstance instance =
-      build_chunk_instance(problem_, state_, config_.approx.instance, chunk);
+  util::Result<confl::ConflInstance> built = engine_.build(state_, chunk);
+  if (!built.ok()) return built.status();
+  confl::ConflInstance instance = std::move(built).value();
 
   // Replacement: full nodes become eligible at a penalty, priced as if one
   // slot were already free.
@@ -42,7 +51,10 @@ OnlineStepResult OnlineFairCaching::insert_chunk(metrics::ChunkId chunk) {
 
   const confl::ConflSolution solution =
       confl::solve_confl(instance, config_.approx.confl);
+  engine_.reclaim(std::move(instance));
 
+  OnlineStepResult step;
+  step.chunk = chunk;
   for (NodeId v : solution.open_facilities) {
     auto& age_list = ages_[static_cast<std::size_t>(v)];
     if (state_.full(v)) {
@@ -56,21 +68,34 @@ OnlineStepResult OnlineFairCaching::insert_chunk(metrics::ChunkId chunk) {
       state_.remove(v, oldest->second);
       age_list.erase(oldest);
       ++total_evictions_;
+      queries_dirty_ = true;
       step.evicted_from.push_back(v);
     }
     if (state_.can_cache(v, chunk)) {
       state_.add(v, chunk);
       age_list.emplace_back(clock_++, chunk);
+      queries_dirty_ = true;
       step.cache_nodes.push_back(v);
     }
   }
+  published_.insert(chunk);
   return step;
+}
+
+OnlineStepResult OnlineFairCaching::insert_chunk(metrics::ChunkId chunk) {
+  util::Result<OnlineStepResult> step = try_insert_chunk(chunk);
+  if (!step.ok()) {
+    util::check_failed("try_insert_chunk(...).ok()", __FILE__, __LINE__,
+                       step.status().message());
+  }
+  return std::move(step).value();
 }
 
 void OnlineFairCaching::retire_chunk(metrics::ChunkId chunk) {
   for (NodeId v = 0; v < state_.num_nodes(); ++v) {
     if (v == state_.producer() || !state_.holds(v, chunk)) continue;
     state_.remove(v, chunk);
+    queries_dirty_ = true;
     auto& age_list = ages_[static_cast<std::size_t>(v)];
     age_list.erase(std::remove_if(age_list.begin(), age_list.end(),
                                   [&](const auto& entry) {
@@ -78,11 +103,47 @@ void OnlineFairCaching::retire_chunk(metrics::ChunkId chunk) {
                                   }),
                    age_list.end());
   }
+  published_.erase(chunk);
 }
 
-double OnlineFairCaching::access_cost(metrics::ChunkId chunk) const {
-  const metrics::ContentionMatrix contention(
-      *problem_.network, state_, config_.approx.instance.path_policy);
+util::Status OnlineFairCaching::adopt_placement(
+    const metrics::CacheState& state) {
+  if (state.num_nodes() != state_.num_nodes()) {
+    return util::Status::invalid_input("adopted state size mismatch");
+  }
+  if (state.producer() != state_.producer()) {
+    return util::Status::invalid_input("adopted state producer mismatch");
+  }
+  for (NodeId v = 0; v < state_.num_nodes(); ++v) {
+    if (state.capacity(v) != state_.capacity(v)) {
+      return util::Status::invalid_input("adopted state capacity mismatch");
+    }
+  }
+  if (util::Status status = state.verify_integrity(); !status.ok()) {
+    return status;
+  }
+  state_ = state;
+  queries_dirty_ = true;
+  for (NodeId v = 0; v < state_.num_nodes(); ++v) {
+    auto& age_list = ages_[static_cast<std::size_t>(v)];
+    age_list.clear();
+    for (metrics::ChunkId chunk : state_.chunks_on(v)) {
+      age_list.emplace_back(clock_++, chunk);
+      published_.insert(chunk);
+    }
+  }
+  return util::Status();  // OK
+}
+
+util::Status OnlineFairCaching::sync_queries() {
+  if (!queries_dirty_ && engine_.query_ready()) return util::Status();
+  util::Status status = engine_.sync(state_);
+  if (status.ok()) queries_dirty_ = false;
+  return status;
+}
+
+double OnlineFairCaching::access_cost(metrics::ChunkId chunk) {
+  FAIRCACHE_CHECK(sync_queries().ok(), "engine sync failed");
   std::vector<NodeId> sources = state_.holders(chunk);
   sources.push_back(state_.producer());
 
@@ -90,10 +151,68 @@ double OnlineFairCaching::access_cost(metrics::ChunkId chunk) const {
   for (NodeId j = 0; j < state_.num_nodes(); ++j) {
     if (j == state_.producer()) continue;
     double best = graph::kInfCost;
-    for (NodeId i : sources) best = std::min(best, contention.cost(i, j));
+    for (NodeId i : sources) best = std::min(best, engine_.query_cost(i, j));
     total += best;
   }
   return total;
+}
+
+FetchDecision OnlineFairCaching::fetch(NodeId requester,
+                                       metrics::ChunkId chunk) {
+  FetchDecision decision;
+  if (requester == state_.producer() || state_.holds(requester, chunk)) {
+    decision.source = requester;
+    decision.cost = 0.0;
+    decision.local = true;
+    decision.from_producer = requester == state_.producer();
+    return decision;
+  }
+  FAIRCACHE_CHECK(sync_queries().ok(), "engine sync failed");
+  for (NodeId i : state_.holders(chunk)) {
+    const double c = engine_.query_cost(i, requester);
+    if (decision.source == graph::kInvalidNode || c < decision.cost) {
+      decision.source = i;
+      decision.cost = c;
+    }
+  }
+  const double producer_cost =
+      engine_.query_cost(state_.producer(), requester);
+  if (decision.source == graph::kInvalidNode ||
+      producer_cost < decision.cost) {
+    decision.source = state_.producer();
+    decision.cost = producer_cost;
+  }
+  decision.from_producer = decision.source == state_.producer();
+  return decision;
+}
+
+util::Status OnlineFairCaching::verify_consistency() const {
+  if (util::Status status = state_.verify_integrity(); !status.ok()) {
+    return status;
+  }
+  for (NodeId v = 0; v < state_.num_nodes(); ++v) {
+    const auto& age_list = ages_[static_cast<std::size_t>(v)];
+    if (v == state_.producer() && !age_list.empty()) {
+      return util::Status::invalid_input("producer has age entries");
+    }
+    std::vector<metrics::ChunkId> aged;
+    aged.reserve(age_list.size());
+    for (const auto& [age, chunk] : age_list) {
+      if (age < 0 || age >= clock_) {
+        return util::Status::invalid_input("age stamp out of range");
+      }
+      aged.push_back(chunk);
+    }
+    std::sort(aged.begin(), aged.end());
+    if (std::adjacent_find(aged.begin(), aged.end()) != aged.end()) {
+      return util::Status::invalid_input("duplicate age entry on a node");
+    }
+    if (aged != state_.chunks_on(v)) {
+      return util::Status::invalid_input(
+          "age entries do not match cached chunks");
+    }
+  }
+  return util::Status();  // OK
 }
 
 }  // namespace faircache::core

@@ -120,6 +120,11 @@ TrafficResult simulate_access_phase(const graph::Graph& g,
     for (double l : latencies) sum += l;
     result.mean_latency_us = sum / static_cast<double>(latencies.size());
     std::sort(latencies.begin(), latencies.end());
+    // Nearest-rank p95: the ⌈0.95·N⌉-th smallest value, 1-indexed. The
+    // double literal 0.95 rounds below the exact ratio, so at N = 20k the
+    // product stays just under the integer and ceil still lands on rank
+    // 19k — never one past it; for N < 20 the rank is N (the maximum).
+    // Pinned by TrafficTest.P95NearestRank* in tests/extensions_test.cpp.
     const std::size_t p95 = std::min(
         latencies.size() - 1,
         static_cast<std::size_t>(

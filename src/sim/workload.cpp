@@ -64,37 +64,47 @@ DemandMatrix generate_zipf_demand(const DemandConfig& config,
   return demand;
 }
 
+TraceSampler::TraceSampler(const DemandMatrix& demand) {
+  FAIRCACHE_CHECK(!demand.empty() && !demand.front().empty(),
+                  "empty demand matrix");
+  num_nodes_ = demand.front().size();
+  cdf_.reserve(demand.size() * num_nodes_);
+  for (const auto& row : demand) {
+    FAIRCACHE_CHECK(row.size() == num_nodes_, "ragged demand matrix");
+    for (double d : row) {
+      FAIRCACHE_CHECK(d >= 0, "negative demand");
+      if (d > 0) last_positive_ = cdf_.size();
+      total_ += d;
+      cdf_.push_back(total_);
+    }
+  }
+  FAIRCACHE_CHECK(total_ > 0, "all-zero demand matrix");
+}
+
+Request TraceSampler::draw(util::Rng& rng) const {
+  const double u = rng.uniform() * total_;
+  // upper_bound (first cell with cdf > u) cannot select a zero-demand cell
+  // — such a cell's CDF value equals its predecessor's, so the predecessor
+  // already satisfies the predicate. lower_bound could (u landing exactly
+  // on a boundary, including u == 0 with a leading zero-demand cell), and
+  // could also walk off the end when u rounds up to total_; that last edge
+  // is clamped to the last positive-demand cell.
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto flat = std::min(static_cast<std::size_t>(it - cdf_.begin()),
+                             last_positive_);
+  Request request;
+  request.chunk = static_cast<metrics::ChunkId>(flat / num_nodes_);
+  request.node = static_cast<graph::NodeId>(flat % num_nodes_);
+  return request;
+}
+
 std::vector<Request> sample_trace(const DemandMatrix& demand, int count,
                                   util::Rng& rng) {
   FAIRCACHE_CHECK(count >= 0, "negative trace length");
-  FAIRCACHE_CHECK(!demand.empty() && !demand.front().empty(),
-                  "empty demand matrix");
-
-  // Flatten into a categorical distribution.
-  std::vector<double> cdf;
-  cdf.reserve(demand.size() * demand.front().size());
-  double total = 0.0;
-  for (const auto& row : demand) {
-    for (double d : row) {
-      FAIRCACHE_CHECK(d >= 0, "negative demand");
-      total += d;
-      cdf.push_back(total);
-    }
-  }
-  FAIRCACHE_CHECK(total > 0, "all-zero demand matrix");
-
-  const auto num_nodes = demand.front().size();
+  const TraceSampler sampler(demand);
   std::vector<Request> trace;
   trace.reserve(static_cast<std::size_t>(count));
-  for (int r = 0; r < count; ++r) {
-    const double u = rng.uniform() * total;
-    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-    const auto flat = static_cast<std::size_t>(it - cdf.begin());
-    Request request;
-    request.chunk = static_cast<metrics::ChunkId>(flat / num_nodes);
-    request.node = static_cast<graph::NodeId>(flat % num_nodes);
-    trace.push_back(request);
-  }
+  for (int r = 0; r < count; ++r) trace.push_back(sampler.draw(rng));
   return trace;
 }
 

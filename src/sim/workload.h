@@ -57,6 +57,29 @@ struct Request {
   metrics::ChunkId chunk = 0;
 };
 
+// Streaming categorical sampler over a flattened demand matrix — the draw
+// engine behind sample_trace and sim::ServingEngine's request stream.
+// Each draw inverts the CDF with upper_bound, which by construction can
+// only land on a positive-width cell (a zero-demand cell shares its upper
+// CDF value with its predecessor, so upper_bound skips it); the one
+// floating-point edge left — u rounding up to exactly the total mass — is
+// clamped to the last positive-demand cell. Requires a non-empty,
+// non-negative matrix with positive total mass (FAIRCACHE_CHECK).
+class TraceSampler {
+ public:
+  explicit TraceSampler(const DemandMatrix& demand);
+
+  Request draw(util::Rng& rng) const;
+
+  double total_mass() const { return total_; }
+
+ private:
+  std::vector<double> cdf_;  // flattened chunk-major prefix sums
+  std::size_t num_nodes_ = 0;
+  std::size_t last_positive_ = 0;  // flat index of the last positive cell
+  double total_ = 0.0;
+};
+
 std::vector<Request> sample_trace(const DemandMatrix& demand, int count,
                                   util::Rng& rng);
 

@@ -5,6 +5,7 @@
 
 #include <sstream>
 
+#include "confl/confl.h"
 #include "core/online.h"
 #include "exact/confl_milp.h"
 #include "exact/local_search.h"
@@ -142,6 +143,199 @@ TEST(OnlineTest, AccessCostDropsWhenCached) {
   EXPECT_LE(online.access_cost(0), before);
 }
 
+TEST(OnlineTest, DuplicateInsertIsTypedError) {
+  const Graph g = graph::make_grid(4, 4);
+  const auto problem = make_problem(g, 0, 0, 2);
+  core::OnlineFairCaching online(problem, core::OnlineConfig{});
+  ASSERT_TRUE(online.try_insert_chunk(3).ok());
+  const int stored = online.state().total_stored();
+  // The second publication of a live id must fail loudly, not corrupt the
+  // placement by re-running the solver against stale instance state.
+  const auto dup = online.try_insert_chunk(3);
+  EXPECT_EQ(dup.code(), util::StatusCode::kInvalidInput);
+  EXPECT_EQ(online.state().total_stored(), stored);
+  EXPECT_TRUE(online.verify_consistency().ok());
+  // Negative ids are typed errors too.
+  EXPECT_EQ(online.try_insert_chunk(-1).code(),
+            util::StatusCode::kInvalidInput);
+  // Retiring frees the id for a fresh publication.
+  online.retire_chunk(3);
+  EXPECT_TRUE(online.try_insert_chunk(3).ok());
+  EXPECT_TRUE(online.verify_consistency().ok());
+}
+
+TEST(OnlineTest, EvictRetireReinsertInterleavingsStayConsistent) {
+  const Graph g = graph::make_grid(3, 3);
+  const auto problem = make_problem(g, 4, 0, 1);
+  core::OnlineConfig config;
+  config.replacement = core::ReplacementPolicy::kEvictOldest;
+  config.approx.confl.span_threshold = 2;
+  core::OnlineFairCaching online(problem, config);
+  // Publish past total capacity so evictions interleave with inserts, then
+  // retire both live and already-evicted ids and republish them. The
+  // ages_/state invariant (one age entry per cached chunk, stamps within
+  // the logical clock) must hold after every mutation.
+  for (int chunk = 0; chunk < 12; ++chunk) {
+    ASSERT_TRUE(online.try_insert_chunk(chunk).ok());
+    ASSERT_TRUE(online.verify_consistency().ok()) << "insert " << chunk;
+  }
+  EXPECT_GT(online.total_evictions(), 0);
+  for (int chunk = 0; chunk < 12; chunk += 3) {
+    online.retire_chunk(chunk);
+    ASSERT_TRUE(online.verify_consistency().ok()) << "retire " << chunk;
+  }
+  for (int chunk = 0; chunk < 12; chunk += 3) {
+    ASSERT_TRUE(online.try_insert_chunk(chunk).ok());
+    ASSERT_TRUE(online.verify_consistency().ok()) << "re-insert " << chunk;
+  }
+  for (NodeId v = 0; v < 9; ++v) {
+    EXPECT_LE(online.state().used(v), 1);
+  }
+}
+
+TEST(OnlineTest, RebuildModeMatchesLegacyStatelessLoop) {
+  // The engine's kRebuild mode must reproduce the pre-engine online path
+  // bit for bit: a fresh dense instance per insert, the replacement
+  // penalty applied on top, one ConFL solve, oldest-first eviction.
+  const Graph g = graph::make_grid(3, 3);
+  const auto problem = make_problem(g, 4, 0, 1);
+  core::OnlineConfig config;
+  config.replacement = core::ReplacementPolicy::kEvictOldest;
+  config.approx.confl.span_threshold = 2;
+  config.approx.instance.contention_mode = core::ContentionMode::kRebuild;
+  core::OnlineFairCaching online(problem, config);
+
+  metrics::CacheState state = problem.make_initial_state();
+  std::vector<std::vector<std::pair<long, metrics::ChunkId>>> ages(9);
+  long clock = 0;
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    confl::ConflInstance instance =
+        core::build_chunk_instance(problem, state, config.approx.instance);
+    for (NodeId v = 0; v < state.num_nodes(); ++v) {
+      if (v == state.producer() || !state.full(v) ||
+          state.capacity(v) == 0 || state.holds(v, chunk)) {
+        continue;
+      }
+      const double used = static_cast<double>(state.used(v) - 1);
+      const double cap = static_cast<double>(state.capacity(v));
+      instance.facility_cost[static_cast<std::size_t>(v)] =
+          config.eviction_penalty + used / (cap - used);
+    }
+    const confl::ConflSolution solution =
+        confl::solve_confl(instance, config.approx.confl);
+    for (NodeId v : solution.open_facilities) {
+      auto& age_list = ages[static_cast<std::size_t>(v)];
+      if (state.full(v)) {
+        const auto oldest =
+            std::min_element(age_list.begin(), age_list.end());
+        state.remove(v, oldest->second);
+        age_list.erase(oldest);
+      }
+      if (state.can_cache(v, chunk)) {
+        state.add(v, chunk);
+        age_list.emplace_back(clock++, chunk);
+      }
+    }
+
+    const auto step = online.try_insert_chunk(chunk);
+    ASSERT_TRUE(step.ok());
+    for (NodeId v = 0; v < 9; ++v) {
+      ASSERT_EQ(online.state().chunks_on(v), state.chunks_on(v))
+          << "chunk " << chunk << " node " << v;
+    }
+  }
+  EXPECT_EQ(online.contention_mode_used(), core::ContentionMode::kRebuild);
+}
+
+TEST(OnlineTest, IncrementalMatchesRebuildPlacements) {
+  // Same inserts, both contention modes of the ported path: the
+  // incremental delta updates must not change a single placement.
+  const Graph g = graph::make_grid(4, 4);
+  const auto problem = make_problem(g, 5, 0, 2);
+  core::OnlineConfig incremental;
+  incremental.replacement = core::ReplacementPolicy::kEvictOldest;
+  incremental.approx.confl.span_threshold = 2;
+  incremental.approx.instance.contention_mode =
+      core::ContentionMode::kIncremental;
+  core::OnlineConfig rebuild = incremental;
+  rebuild.approx.instance.contention_mode = core::ContentionMode::kRebuild;
+  core::OnlineFairCaching a(problem, incremental);
+  core::OnlineFairCaching b(problem, rebuild);
+  for (int chunk = 0; chunk < 24; ++chunk) {
+    ASSERT_TRUE(a.try_insert_chunk(chunk).ok());
+    ASSERT_TRUE(b.try_insert_chunk(chunk).ok());
+    for (NodeId v = 0; v < 16; ++v) {
+      ASSERT_EQ(a.state().chunks_on(v), b.state().chunks_on(v))
+          << "chunk " << chunk << " node " << v;
+    }
+    ASSERT_EQ(a.access_cost(chunk), b.access_cost(chunk)) << chunk;
+  }
+  EXPECT_EQ(a.contention_mode_used(), core::ContentionMode::kIncremental);
+  EXPECT_EQ(b.contention_mode_used(), core::ContentionMode::kRebuild);
+}
+
+TEST(OnlineTest, AdoptPlacementValidatesAndRestamps) {
+  const Graph g = graph::make_grid(3, 3);
+  const auto problem = make_problem(g, 0, 0, 2);
+  core::OnlineFairCaching online(problem, core::OnlineConfig{});
+
+  metrics::CacheState wrong_size(4, 2, 1);
+  EXPECT_EQ(online.adopt_placement(wrong_size).code(),
+            util::StatusCode::kInvalidInput);
+  metrics::CacheState wrong_producer(9, 2, 1);
+  EXPECT_EQ(online.adopt_placement(wrong_producer).code(),
+            util::StatusCode::kInvalidInput);
+
+  metrics::CacheState adopted = problem.make_initial_state();
+  adopted.add(3, 7);
+  adopted.add(5, 7);
+  adopted.add(5, 9);
+  ASSERT_TRUE(online.adopt_placement(adopted).ok());
+  EXPECT_TRUE(online.verify_consistency().ok());
+  EXPECT_EQ(online.state().chunks_on(5), adopted.chunks_on(5));
+  // Adopted ids are published: re-inserting one is the duplicate error.
+  EXPECT_EQ(online.try_insert_chunk(7).code(),
+            util::StatusCode::kInvalidInput);
+  online.retire_chunk(7);
+  EXPECT_TRUE(online.try_insert_chunk(7).ok());
+  EXPECT_TRUE(online.verify_consistency().ok());
+}
+
+TEST(OnlineTest, FetchRoutesToCheapestSource) {
+  const Graph g = graph::make_path(8);
+  const auto problem = make_problem(g, 0, 0, 2);
+  core::OnlineFairCaching online(problem, core::OnlineConfig{});
+  metrics::CacheState placement = problem.make_initial_state();
+  placement.add(6, 0);
+  ASSERT_TRUE(online.adopt_placement(placement).ok());
+
+  // The producer serves itself for free.
+  const auto at_producer = online.fetch(0, 0);
+  EXPECT_TRUE(at_producer.local);
+  EXPECT_TRUE(at_producer.from_producer);
+  EXPECT_DOUBLE_EQ(at_producer.cost, 0.0);
+  // A holder serves itself for free.
+  const auto at_holder = online.fetch(6, 0);
+  EXPECT_TRUE(at_holder.local);
+  EXPECT_FALSE(at_holder.from_producer);
+  EXPECT_DOUBLE_EQ(at_holder.cost, 0.0);
+  // Node 7 sits next to the cached copy on 6 — the relay must win over
+  // the 7-hop producer path.
+  const auto near_holder = online.fetch(7, 0);
+  EXPECT_EQ(near_holder.source, 6);
+  EXPECT_FALSE(near_holder.local);
+  EXPECT_FALSE(near_holder.from_producer);
+  // Node 1 sits next to the producer — the producer must win.
+  const auto near_producer = online.fetch(1, 0);
+  EXPECT_EQ(near_producer.source, 0);
+  EXPECT_TRUE(near_producer.from_producer);
+  // An uncached chunk always comes from the producer.
+  const auto uncached = online.fetch(7, 5);
+  EXPECT_EQ(uncached.source, 0);
+  EXPECT_TRUE(uncached.from_producer);
+  EXPECT_GT(uncached.cost, near_holder.cost);
+}
+
 // ---------------------------------------------------------------- Mobility
 
 TEST(MobilityTest, DeterministicAndInBounds) {
@@ -262,6 +456,37 @@ TEST(TrafficTest, StaggeringReducesQueueing) {
   const auto b = sim::simulate_access_phase(g, state, burst);
   const auto s = sim::simulate_access_phase(g, state, staggered);
   EXPECT_LE(s.mean_latency_us, b.mean_latency_us + 1e-9);
+}
+
+TEST(TrafficTest, P95NearestRankBelowTwentyIsMax) {
+  // Nearest-rank p95 = the ⌈0.95·N⌉-th smallest latency. For N < 20 that
+  // rank is N itself, so p95 must coincide with the maximum — pinning the
+  // ceil(0.95·N)−1 indexing in simulate_access_phase against
+  // off-by-one drift (rank N−1 would already differ here).
+  sim::TrafficOptions options;
+  options.num_chunks = 1;
+  for (const int nodes : {2, 5, 11, 20}) {  // N = 1, 4, 10, 19 fetches
+    const Graph g = graph::make_path(nodes);
+    metrics::CacheState state(nodes, 5, 0);
+    const auto result = sim::simulate_access_phase(g, state, options);
+    ASSERT_EQ(result.fetches.size(), static_cast<std::size_t>(nodes - 1));
+    EXPECT_DOUBLE_EQ(result.p95_latency_us, result.max_latency_us)
+        << "N = " << nodes - 1;
+  }
+}
+
+TEST(TrafficTest, P95NearestRankAtTwentyIsSecondLargest) {
+  // At exactly N = 20 the rank drops to 19 for the first time: on a path
+  // the latencies are strictly increasing with distance, so p95 must fall
+  // strictly below the maximum (the 19th of 20 sorted values).
+  const Graph g = graph::make_path(21);
+  metrics::CacheState state(21, 5, 0);
+  sim::TrafficOptions options;
+  options.num_chunks = 1;
+  const auto result = sim::simulate_access_phase(g, state, options);
+  ASSERT_EQ(result.fetches.size(), 20u);
+  EXPECT_LT(result.p95_latency_us, result.max_latency_us);
+  EXPECT_GT(result.p95_latency_us, result.mean_latency_us);
 }
 
 TEST(DisseminationSimTest, NoHoldersNoTraffic) {

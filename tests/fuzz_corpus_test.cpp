@@ -67,5 +67,11 @@ TEST(FuzzCorpusTest, ReplaySolveTarget) {
   }
 }
 
+TEST(FuzzCorpusTest, ReplayServingTarget) {
+  for (const auto& input : corpus_inputs()) {
+    EXPECT_EQ(0, fuzz::run_serving_target(input.data(), input.size()));
+  }
+}
+
 }  // namespace
 }  // namespace faircache

@@ -100,6 +100,77 @@ TEST(TraceTest, RespectsSupportAndLength) {
   }
 }
 
+TEST(TraceSamplerTest, FixedSeedPinsDrawSequence) {
+  // Regression pin for the lower_bound → upper_bound sampler fix: with a
+  // demand matrix full of zero-width cells (including a trailing
+  // zero-demand block), a fixed seed must reproduce exactly this request
+  // stream — and never a zero-demand (chunk, node) pair. The old
+  // lower_bound inversion could land on zero-width cells whenever a draw
+  // hit a shared CDF boundary, and could walk off the CDF entirely when
+  // the draw reached the total mass.
+  const sim::DemandMatrix demand{{0.0, 2.0, 0.0, 1.0},
+                                 {0.5, 0.0, 0.0, 3.0},
+                                 {0.0, 1.5, 0.0, 0.0}};
+  sim::TraceSampler sampler(demand);
+  EXPECT_DOUBLE_EQ(sampler.total_mass(), 8.0);
+  util::Rng rng(42);
+  const std::vector<std::pair<int, int>> expected{
+      {0, 1}, {1, 0}, {1, 3}, {2, 1}, {2, 1}, {1, 3}, {1, 3}, {2, 1},
+      {1, 3}, {1, 3}, {1, 3}, {0, 3}, {1, 3}, {0, 3}, {1, 3}, {2, 1},
+  };
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const sim::Request r = sampler.draw(rng);
+    EXPECT_EQ(r.chunk, expected[i].first) << "draw " << i;
+    EXPECT_EQ(r.node, expected[i].second) << "draw " << i;
+  }
+}
+
+TEST(TraceSamplerTest, NeverSelectsZeroDemandCells) {
+  // Alternating zero cells everywhere, plus an all-zero chunk row.
+  const sim::DemandMatrix demand{{1.0, 0.0, 1.0, 0.0},
+                                 {0.0, 0.0, 0.0, 0.0},
+                                 {0.0, 2.0, 0.0, 2.0}};
+  sim::TraceSampler sampler(demand);
+  util::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const sim::Request r = sampler.draw(rng);
+    ASSERT_GT(demand[static_cast<std::size_t>(r.chunk)]
+                    [static_cast<std::size_t>(r.node)],
+              0.0)
+        << "chunk " << r.chunk << " node " << r.node;
+  }
+}
+
+TEST(TraceSamplerTest, SingleCellAlwaysWinsEvenAtBoundary) {
+  // One positive cell buried between zero-demand cells: every draw —
+  // including any that rounds up to the full total mass — must clamp to
+  // it rather than index past the CDF.
+  const sim::DemandMatrix demand{{0.0, 0.0, 1e-9, 0.0, 0.0}};
+  sim::TraceSampler sampler(demand);
+  util::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const sim::Request r = sampler.draw(rng);
+    ASSERT_EQ(r.chunk, 0);
+    ASSERT_EQ(r.node, 2);
+  }
+}
+
+TEST(TraceSamplerTest, FrequenciesFollowDemand) {
+  const sim::DemandMatrix demand{{3.0, 1.0}, {0.0, 4.0}};
+  sim::TraceSampler sampler(demand);
+  util::Rng rng(13);
+  constexpr int kDraws = 40000;
+  int counts[2][2] = {{0, 0}, {0, 0}};
+  for (int i = 0; i < kDraws; ++i) {
+    const sim::Request r = sampler.draw(rng);
+    ++counts[r.chunk][r.node];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0][0]) / kDraws, 3.0 / 8.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[0][1]) / kDraws, 1.0 / 8.0, 0.02);
+  EXPECT_EQ(counts[1][0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1][1]) / kDraws, 4.0 / 8.0, 0.02);
+}
+
 TEST(DemandWeightedEvaluatorTest, WeightsScaleAccessCost) {
   const Graph g = graph::make_path(3);
   metrics::CacheState state(3, 5, 0);
